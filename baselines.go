@@ -1,0 +1,47 @@
+package rendezvous
+
+import "rendezvous/internal/baselines"
+
+// NewCRSEQ returns the Shin-Yang-Kim CRSEQ baseline (IEEE Communications
+// Letters 2010): the O(n²) row of the paper's Table 1. With the
+// deterministic index remap CRSEQ lacks a worst-case asymmetric
+// guarantee (see DESIGN.md for the counterexample found during this
+// reproduction); NewCRSEQRandomized restores probability-1 rendezvous.
+func NewCRSEQ(n int, channels []int) (Schedule, error) {
+	return baselines.NewCRSEQ(n, channels)
+}
+
+// NewCRSEQRandomized is CRSEQ with seeded pseudo-random remapping of
+// inaccessible channels.
+func NewCRSEQRandomized(n int, channels []int, seed uint64) (Schedule, error) {
+	return baselines.NewCRSEQRandomized(n, channels, seed)
+}
+
+// NewJumpStay returns the Lin-Liu-Chu-Leung jump-stay baseline (INFOCOM
+// 2011): O(n³) asymmetric / O(n) symmetric rendezvous, the middle row of
+// Table 1.
+func NewJumpStay(n int, channels []int) (Schedule, error) {
+	return baselines.NewJumpStay(n, channels)
+}
+
+// NewRandom returns the randomized strawman from the paper's
+// introduction: an independent uniform channel of the set each slot
+// (derived from seed; pure in t). Expected rendezvous in
+// ≈ |S_A||S_B|/|S_A∩S_B| slots, no deterministic guarantee.
+func NewRandom(n int, channels []int, seed uint64, period int) (Schedule, error) {
+	return baselines.NewRandom(n, channels, seed, period)
+}
+
+// NewSweep returns the trivial synchronous-model schedule from §4
+// (hop channel t at slot t when available): Rs(n,k) ≤ n, nothing in the
+// asynchronous model.
+func NewSweep(n int, channels []int) (Schedule, error) {
+	return baselines.NewSweep(n, channels)
+}
+
+// NewCRSEQSymmetric wraps CRSEQ with the §3.2 reduction: an
+// O(n²)-asymmetric / O(1)-symmetric schedule used as the harness
+// stand-in for the Gu-Hua-Wang-Lau Table-1 row.
+func NewCRSEQSymmetric(n int, channels []int) (Schedule, error) {
+	return baselines.NewCRSEQSymmetric(n, channels)
+}

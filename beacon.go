@@ -1,0 +1,32 @@
+package rendezvous
+
+import "rendezvous/internal/beacon"
+
+// BeaconSource is the shared one-bit-per-slot random beacon of §5. All
+// agents that should rendezvous must be constructed from the same
+// source value.
+type BeaconSource = beacon.Source
+
+// BeaconConfig tunes the beacon protocols; the zero value selects
+// sensible defaults (degree-8 hashing, 2²² slot period).
+type BeaconConfig = beacon.Config
+
+// NewBeaconSource returns a deterministic beacon stream for a seed.
+func NewBeaconSource(seed uint64) BeaconSource { return beacon.NewSource(seed) }
+
+// NewBeaconFresh returns the simple §5 protocol: a fresh min-wise
+// permutation seed every d·⌈log₂P⌉ beacon bits; rendezvous w.h.p. in
+// O((|S_A|+|S_B|)·log n) slots.
+//
+// Beacon schedules are functions of the GLOBAL slot clock. When used
+// with Engine, wrap them: Agent{Sched: AlignWake(p, w), Wake: w}.
+func NewBeaconFresh(n int, channels []int, src BeaconSource, cfg BeaconConfig) (Schedule, error) {
+	return beacon.NewFresh(n, channels, src, cfg)
+}
+
+// NewBeaconWalk returns the amplified §5 protocol: one seed from the
+// first window, then O(1) beacon bits per redraw via an expander-style
+// walk; rendezvous w.h.p. in O(|S_A|+|S_B|+log n) slots.
+func NewBeaconWalk(n int, channels []int, src BeaconSource, cfg BeaconConfig) (Schedule, error) {
+	return beacon.NewWalk(n, channels, src, cfg)
+}

@@ -1,0 +1,230 @@
+package rendezvous_test
+
+// One benchmark per evaluation artifact of the paper (see the
+// per-experiment index in DESIGN.md) plus micro-benchmarks for the
+// schedule primitives. The experiment benches regenerate the
+// corresponding table/figure at CI scale per iteration; run
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the paper-vs-measured record.
+
+import (
+	"math/rand"
+	"testing"
+
+	"rendezvous"
+	"rendezvous/internal/asciiplot"
+	"rendezvous/internal/bitstring"
+	"rendezvous/internal/catalan"
+	"rendezvous/internal/experiments"
+	"rendezvous/internal/pairsched"
+	"rendezvous/internal/simulator"
+)
+
+var benchCfg = experiments.Config{Quick: true, Seed: 1}
+
+// sink defeats dead-code elimination in micro-benches.
+var sink int
+
+func BenchmarkTable1Asymmetric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Table1Asymmetric(benchCfg)
+		sink += len(rep.Rows)
+	}
+}
+
+func BenchmarkTable1Symmetric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Table1Symmetric(benchCfg)
+		sink += len(rep.Rows)
+	}
+}
+
+func BenchmarkFigure1Walk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink += len(asciiplot.Walk("fig1a", "11010"))
+		sink += len(asciiplot.Walk("fig1b", "110001"))
+	}
+}
+
+func BenchmarkFigure2Catalan(b *testing.B) {
+	s := bitstring.MustParse("1101011000")
+	for i := 0; i < b.N; i++ {
+		sink += len(asciiplot.Walk("fig2a", s.String()))
+		sink += len(asciiplot.Walk("fig2b", s.Rotate(3).String()))
+	}
+}
+
+func BenchmarkFigure3TwoMax(b *testing.B) {
+	s := bitstring.MustParse("1101011000")
+	for i := 0; i < b.N; i++ {
+		w := catalan.MakeTwoMaximal(s)
+		sink += len(asciiplot.Walk("fig3b", w.String()))
+	}
+}
+
+func BenchmarkTheorem1Pair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Theorem1(benchCfg)
+		sink += len(rep.Rows)
+	}
+}
+
+func BenchmarkTheorem3General(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Theorem3(benchCfg)
+		sink += len(rep.Rows)
+	}
+}
+
+func BenchmarkSymmetricWrapper(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.SymmetricWrapper(benchCfg)
+		sink += len(rep.Rows)
+	}
+}
+
+func BenchmarkBeaconProtocols(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Beacon(benchCfg)
+		sink += len(rep.Rows)
+	}
+}
+
+func BenchmarkLowerBoundRamsey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.LowerBoundRamsey(benchCfg)
+		sink += len(rep.Rows)
+	}
+}
+
+func BenchmarkLowerBoundAsync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.LowerBoundAsync(benchCfg)
+		sink += len(rep.Rows)
+	}
+}
+
+func BenchmarkOneRoundSDP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.OneRound(benchCfg)
+		sink += len(rep.Rows)
+	}
+}
+
+// --- micro-benchmarks -------------------------------------------------
+
+func BenchmarkNewSchedule(b *testing.B) {
+	set := []int{3, 90, 512, 700, 999}
+	for i := 0; i < b.N; i++ {
+		s, err := rendezvous.New(1024, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += s.Period()
+	}
+}
+
+func BenchmarkPairWordConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := pairsched.Word(1<<20, 90, 700)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += w.Len()
+	}
+}
+
+func benchmarkChannelLookup(b *testing.B, s rendezvous.Schedule) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += s.Channel(i)
+	}
+}
+
+func BenchmarkChannelLookupOurs(b *testing.B) {
+	s, err := rendezvous.New(1024, []int{3, 90, 512, 700, 999})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkChannelLookup(b, s)
+}
+
+func BenchmarkChannelLookupCRSEQ(b *testing.B) {
+	s, err := rendezvous.NewCRSEQ(1024, []int{3, 90, 512, 700, 999})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkChannelLookup(b, s)
+}
+
+func BenchmarkChannelLookupJumpStay(b *testing.B) {
+	s, err := rendezvous.NewJumpStay(1024, []int{3, 90, 512, 700, 999})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkChannelLookup(b, s)
+}
+
+func BenchmarkChannelLookupBeaconWalk(b *testing.B) {
+	s, err := rendezvous.NewBeaconWalk(1024, []int{3, 90, 512, 700, 999},
+		rendezvous.NewBeaconSource(1), rendezvous.BeaconConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkChannelLookup(b, s)
+}
+
+func BenchmarkPairTTRMeasurement(b *testing.B) {
+	a, err := rendezvous.New(1024, []int{3, 90, 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := rendezvous.New(1024, []int{90, 700})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ttr, ok := rendezvous.PairTTR(a, c, 0, rng.Intn(100_000), 1<<22)
+		if !ok {
+			b.Fatal("missed rendezvous")
+		}
+		sink += ttr
+	}
+}
+
+func BenchmarkEngineMultiAgent(b *testing.B) {
+	const n = 256
+	rng := rand.New(rand.NewSource(2))
+	var agents []rendezvous.Agent
+	for i := 0; i < 8; i++ {
+		w := simulator.RandomOverlappingPair(rng, n, 4, 4)
+		s, err := rendezvous.New(n, w.A)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agents = append(agents, rendezvous.Agent{
+			Name: string(rune('a' + i)), Sched: s, Wake: rng.Intn(500),
+		})
+	}
+	eng, err := rendezvous.NewEngine(agents)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.Run(50_000)
+		sink += len(res.Meetings())
+	}
+}
+
+func BenchmarkMultiAgentDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.MultiAgent(benchCfg)
+		sink += len(rep.Rows)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "lb-ramsey", "-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "LB-RAMSEY") {
+		t.Fatalf("missing experiment output:\n%s", sb.String())
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "figures", "-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 1a", "Figure 2a", "Figure 3b", "11010"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figures output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "bogus"}, &sb); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nope"}, &sb); err == nil {
+		t.Error("expected flag parse error")
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllFigures(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 1a", "Figure 1b", "Figure 2a", "Figure 2b", "Figure 3a", "Figure 3b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "Figure 1a") || !strings.Contains(out, "Figure 2a") {
+		t.Fatalf("figure filter broken:\n%s", out)
+	}
+}
+
+func TestRunFigureOutOfRange(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "9"}, &sb); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-pipeline", "-n", "1024", "-a", "700", "-b", "90"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"K(x)", "U(K(x))", "2-maximal: true", "strictly Catalan: true", "R(x) walk"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pipeline output missing %q", want)
+		}
+	}
+}
+
+func TestPipelineBadPair(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-pipeline", "-n", "8", "-a", "3", "-b", "3"}, &sb); err == nil {
+		t.Error("expected error for equal channels")
+	}
+}

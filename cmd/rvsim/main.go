@@ -1,0 +1,160 @@
+// Command rvsim runs a multi-agent blind-rendezvous scenario and prints
+// every pairwise first meeting.
+//
+// Agents are specified as name=channels[@wake], e.g.:
+//
+//	rvsim -n 64 -alg ours -horizon 200000 \
+//	      -agent base=10,20,30 -agent drone=20,40@25 -agent sensor=30,40@90
+//
+// Algorithms: ours (default), general (no §3.2 wrapper), crseq,
+// crseq-rand, jumpstay, random, sweep, beacon-fresh, beacon-walk.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rendezvous"
+)
+
+// agentSpec is one parsed -agent flag.
+type agentSpec struct {
+	name     string
+	channels []int
+	wake     int
+}
+
+// specList collects repeated -agent flags.
+type specList []agentSpec
+
+func (s *specList) String() string { return fmt.Sprintf("%d agents", len(*s)) }
+
+func (s *specList) Set(v string) error {
+	spec, err := parseAgent(v)
+	if err != nil {
+		return err
+	}
+	*s = append(*s, spec)
+	return nil
+}
+
+func parseAgent(v string) (agentSpec, error) {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return agentSpec{}, fmt.Errorf("agent spec %q: want name=c1,c2[@wake]", v)
+	}
+	chanPart, wakePart, hasWake := strings.Cut(rest, "@")
+	spec := agentSpec{name: name}
+	for _, c := range strings.Split(chanPart, ",") {
+		ch, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil {
+			return agentSpec{}, fmt.Errorf("agent %q: channel %q: %v", name, c, err)
+		}
+		spec.channels = append(spec.channels, ch)
+	}
+	if hasWake {
+		w, err := strconv.Atoi(wakePart)
+		if err != nil || w < 0 {
+			return agentSpec{}, fmt.Errorf("agent %q: wake %q must be a non-negative integer", name, wakePart)
+		}
+		spec.wake = w
+	}
+	return spec, nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rvsim", flag.ContinueOnError)
+	n := fs.Int("n", 64, "channel universe size")
+	alg := fs.String("alg", "ours", "schedule algorithm")
+	horizon := fs.Int("horizon", 1_000_000, "simulation slots")
+	seed := fs.Uint64("seed", 1, "seed for randomized algorithms / beacon")
+	var specs specList
+	fs.Var(&specs, "agent", "agent spec name=c1,c2[@wake] (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(specs) < 2 {
+		return fmt.Errorf("need at least two -agent specs")
+	}
+
+	agents := make([]rendezvous.Agent, 0, len(specs))
+	src := rendezvous.NewBeaconSource(*seed)
+	for i, sp := range specs {
+		sched, err := buildSchedule(*alg, *n, sp, src, *seed+uint64(i))
+		if err != nil {
+			return fmt.Errorf("agent %q: %w", sp.name, err)
+		}
+		agents = append(agents, rendezvous.Agent{Name: sp.name, Sched: sched, Wake: sp.wake})
+	}
+	eng, err := rendezvous.NewEngine(agents)
+	if err != nil {
+		return err
+	}
+	res := eng.Run(*horizon)
+
+	fmt.Fprintf(out, "universe n=%d  algorithm=%s  horizon=%d slots\n\n", *n, *alg, *horizon)
+	meetings := res.Meetings()
+	for _, m := range meetings {
+		fmt.Fprintf(out, "%-10s ↔ %-10s met at slot %-8d on channel %-4d (TTR %d)\n",
+			m.A, m.B, m.Slot, m.Channel, m.TTR)
+	}
+	var missed []string
+	for i := range agents {
+		for j := i + 1; j < len(agents); j++ {
+			if _, ok := res.Meeting(agents[i].Name, agents[j].Name); !ok {
+				missed = append(missed, fmt.Sprintf("%s ↔ %s", agents[i].Name, agents[j].Name))
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		fmt.Fprintf(out, "%-23s never met (disjoint sets or horizon too small)\n", m)
+	}
+	fmt.Fprintf(out, "\n%d of %d pairs met\n", len(meetings), len(meetings)+len(missed))
+	return nil
+}
+
+func buildSchedule(alg string, n int, sp agentSpec, src rendezvous.BeaconSource, seed uint64) (rendezvous.Schedule, error) {
+	switch alg {
+	case "ours":
+		return rendezvous.New(n, sp.channels)
+	case "general":
+		return rendezvous.NewGeneral(n, sp.channels)
+	case "crseq":
+		return rendezvous.NewCRSEQ(n, sp.channels)
+	case "crseq-rand":
+		return rendezvous.NewCRSEQRandomized(n, sp.channels, seed)
+	case "jumpstay":
+		return rendezvous.NewJumpStay(n, sp.channels)
+	case "random":
+		return rendezvous.NewRandom(n, sp.channels, seed, 1<<22)
+	case "sweep":
+		return rendezvous.NewSweep(n, sp.channels)
+	case "beacon-fresh":
+		s, err := rendezvous.NewBeaconFresh(n, sp.channels, src, rendezvous.BeaconConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return rendezvous.AlignWake(s, sp.wake), nil
+	case "beacon-walk":
+		s, err := rendezvous.NewBeaconWalk(n, sp.channels, src, rendezvous.BeaconConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return rendezvous.AlignWake(s, sp.wake), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", alg)
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAgent(t *testing.T) {
+	cases := []struct {
+		in       string
+		name     string
+		channels []int
+		wake     int
+		wantErr  bool
+	}{
+		{in: "base=10,20,30", name: "base", channels: []int{10, 20, 30}},
+		{in: "drone=20,40@25", name: "drone", channels: []int{20, 40}, wake: 25},
+		{in: "x=5", name: "x", channels: []int{5}},
+		{in: "noequals", wantErr: true},
+		{in: "=1,2", wantErr: true},
+		{in: "a=1,zz", wantErr: true},
+		{in: "a=1@-3", wantErr: true},
+		{in: "a=1@x", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := parseAgent(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseAgent(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseAgent(%q): %v", c.in, err)
+			continue
+		}
+		if got.name != c.name || got.wake != c.wake || len(got.channels) != len(c.channels) {
+			t.Errorf("parseAgent(%q) = %+v", c.in, got)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-n", "64", "-horizon", "500000",
+		"-agent", "base=10,20,30",
+		"-agent", "drone=20,40@25",
+		"-agent", "sensor=30,40@90",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "3 of 3 pairs met") {
+		t.Fatalf("expected all pairs to meet:\n%s", out)
+	}
+	if !strings.Contains(out, "base") || !strings.Contains(out, "drone") {
+		t.Fatalf("missing agents in output:\n%s", out)
+	}
+}
+
+func TestRunDisjointSetsReported(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-n", "16", "-horizon", "10000",
+		"-agent", "a=1,2",
+		"-agent", "b=9,10",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "never met") {
+		t.Fatalf("expected never-met notice:\n%s", sb.String())
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, alg := range []string{"ours", "general", "crseq", "crseq-rand", "jumpstay", "random", "sweep", "beacon-fresh", "beacon-walk"} {
+		var sb strings.Builder
+		err := run([]string{
+			"-n", "32", "-alg", alg, "-horizon", "400000",
+			"-agent", "a=3,9",
+			"-agent", "b=9,20@7",
+		}, &sb)
+		if err != nil {
+			t.Fatalf("alg %s: %v", alg, err)
+		}
+		if !strings.Contains(sb.String(), "pairs met") {
+			t.Fatalf("alg %s: malformed output", alg)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-agent", "a=1,2"}, &sb); err == nil {
+		t.Error("single agent: expected error")
+	}
+	if err := run([]string{"-alg", "nope", "-agent", "a=1", "-agent", "b=1"}, &sb); err == nil {
+		t.Error("unknown algorithm: expected error")
+	}
+	if err := run([]string{"-n", "4", "-agent", "a=9", "-agent", "b=1"}, &sb); err == nil {
+		t.Error("out-of-range channel: expected error")
+	}
+}

@@ -1,0 +1,62 @@
+package rendezvous_test
+
+import (
+	"fmt"
+
+	"rendezvous"
+)
+
+// Two radios with overlapping channel subsets are guaranteed to meet,
+// whatever their wake offset.
+func ExampleNew() {
+	const n = 1024
+	alice, _ := rendezvous.New(n, []int{3, 90, 512})
+	bob, _ := rendezvous.New(n, []int{90, 700})
+
+	ttr, ok := rendezvous.PairTTR(alice, bob, 0, 17, 1_000_000)
+	fmt.Println(ok, alice.Channel(17+ttr))
+	// Output: true 90
+}
+
+// Identical channel sets rendezvous in O(1) slots (§3.2): at most 6,
+// on the set's smallest channel.
+func ExampleNew_symmetric() {
+	s, _ := rendezvous.New(4096, []int{1200, 1205, 1209})
+	worst := 0
+	for offset := 0; offset < 1000; offset++ {
+		ttr, _ := rendezvous.PairTTR(s, s, 0, offset, 10)
+		if ttr > worst {
+			worst = ttr
+		}
+	}
+	fmt.Println(worst <= 6)
+	// Output: true
+}
+
+// The engine simulates whole fleets with arbitrary wake times.
+func ExampleEngine() {
+	const n = 64
+	base, _ := rendezvous.New(n, []int{10, 20, 30})
+	drone, _ := rendezvous.New(n, []int{20, 40})
+
+	eng, _ := rendezvous.NewEngine([]rendezvous.Agent{
+		{Name: "base", Sched: base, Wake: 0},
+		{Name: "drone", Sched: drone, Wake: 2500},
+	})
+	res := eng.Run(1_000_000)
+	m, ok := res.Meeting("base", "drone")
+	fmt.Println(ok, m.Channel)
+	// Output: true 20
+}
+
+// One-shot discovery (appendix): orient each agent's channel-pair edge
+// to maximize pairs that meet in a single slot.
+func ExampleSolveOneRound() {
+	// A star: five agents all able to reach channel 1.
+	g, _ := rendezvous.NewOneRoundGraph(6, [][2]int{
+		{1, 2}, {1, 3}, {1, 4}, {1, 5}, {1, 6},
+	})
+	res, _ := rendezvous.SolveOneRound(g, rendezvous.OneRoundSDPOptions{Seed: 1})
+	fmt.Println(res.InPairs) // all C(5,2) pairs meet at the hub
+	// Output: 10
+}

@@ -1,0 +1,85 @@
+// GPS-beacon scenario (paper §5): the environment broadcasts one common
+// random bit per slot (e.g. derived from GPS signals). Agents hash their
+// channels with a shared min-wise permutation derived from the stream
+// and hop the argmin — beating the deterministic Ω(|A||B|) barrier with
+// O(|A|+|B|+log n) expected slots for the expander-walk variant.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"rendezvous"
+)
+
+func main() {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(3))
+
+	// Two agents with sizeable sets: deterministic rendezvous costs
+	// Ω(|A||B|) = Ω(256); the beacon protocols cost ~|A|+|B|+log n.
+	shared := 1 + rng.Intn(n)
+	setA := randomSetWith(rng, n, 16, shared)
+	setB := randomSetWith(rng, n, 16, shared)
+
+	summary := func(name string, ttrs []int) {
+		sort.Ints(ttrs)
+		var sum int
+		for _, t := range ttrs {
+			sum += t
+		}
+		fmt.Printf("  %-12s mean %6.1f   p90 %6d   max %6d slots\n",
+			name, float64(sum)/float64(len(ttrs)), ttrs[len(ttrs)*9/10], ttrs[len(ttrs)-1])
+	}
+
+	const trials = 40
+	var freshT, walkT, detT []int
+	for trial := 0; trial < trials; trial++ {
+		src := rendezvous.NewBeaconSource(uint64(trial)*977 + 5)
+		fa, err := rendezvous.NewBeaconFresh(n, setA, src, rendezvous.BeaconConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fb, _ := rendezvous.NewBeaconFresh(n, setB, src, rendezvous.BeaconConfig{})
+		wa, err := rendezvous.NewBeaconWalk(n, setA, src, rendezvous.BeaconConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wb, _ := rendezvous.NewBeaconWalk(n, setB, src, rendezvous.BeaconConfig{})
+		da, _ := rendezvous.New(n, setA)
+		db, _ := rendezvous.New(n, setB)
+
+		wake := rng.Intn(300)
+		// Beacon protocols follow the global clock: align them.
+		if t, ok := rendezvous.PairTTR(rendezvous.AlignWake(fa, 0), rendezvous.AlignWake(fb, wake), 0, wake, 1<<22); ok {
+			freshT = append(freshT, t)
+		}
+		if t, ok := rendezvous.PairTTR(rendezvous.AlignWake(wa, 0), rendezvous.AlignWake(wb, wake), 0, wake, 1<<22); ok {
+			walkT = append(walkT, t)
+		}
+		if t, ok := rendezvous.PairTTR(da, db, 0, wake, 1<<22); ok {
+			detT = append(detT, t)
+		}
+	}
+
+	fmt.Printf("n = %d, |A| = |B| = 16, %d trials:\n", n, trials)
+	summary("walk", walkT)
+	summary("fresh", freshT)
+	summary("determ.", detT)
+	fmt.Println("\npaper §5: walk O(|A|+|B|+log n) ≤ fresh O((|A|+|B|)·log n);")
+	fmt.Println("both sidestep the deterministic Ω(|A||B|) lower bound (Theorem 7).")
+}
+
+func randomSetWith(rng *rand.Rand, n, k, shared int) []int {
+	set := map[int]bool{shared: true}
+	for len(set) < k {
+		set[1+rng.Intn(n)] = true
+	}
+	out := make([]int, 0, k)
+	for c := range set {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+// One-round discovery maximization (paper appendix): a swarm of agents,
+// each with exactly two channels, gets a SINGLE slot. How many pairs can
+// discover each other right now? Orient each channel-pair edge toward
+// the chosen channel; pairs meet iff their arcs share a head. Random
+// orientation yields ≥ 25% of optimum; the Goemans-Williamson-style SDP
+// rounding yields ≥ 43.9% and is near-optimal in practice.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rendezvous"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// A sensor swarm: 7 channels, 14 agents with random channel pairs.
+	const vertices = 7
+	var edges [][2]int
+	for len(edges) < 14 {
+		u, v := 1+rng.Intn(vertices), 1+rng.Intn(vertices)
+		if u != v {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	g, err := rendezvous.NewOneRoundGraph(vertices, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := rendezvous.SolveOneRound(g, rendezvous.OneRoundSDPOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, rnd := rendezvous.BestRandomOrientation(g, rng, 64)
+
+	fmt.Printf("swarm: %d agents over %d channels\n\n", g.NumEdges(), vertices)
+	fmt.Printf("random orientation (best of 64): %3d pairs meet in slot 1\n", rnd)
+	fmt.Printf("SDP + hyperplane rounding:       %3d pairs meet in slot 1\n", res.InPairs)
+	fmt.Printf("SDP relaxation value (in+out):   %.1f\n\n", res.RelaxationValue)
+
+	fmt.Println("per-agent channel choices from the SDP orientation:")
+	for e, edge := range g.Edges() {
+		head := edge[1]
+		if res.Orientation[e] < 0 {
+			head = edge[0]
+		}
+		fmt.Printf("  agent %2d {%d,%d} → hops channel %d\n", e, edge[0], edge[1], head)
+	}
+	fmt.Println("\npaper appendix: derandomizable 0.439-approximation; random = 0.25.")
+}

@@ -1,0 +1,48 @@
+// Quickstart: two radios with overlapping channel subsets of a 1024-
+// channel spectrum build their schedules independently (no identities,
+// no shared state, arbitrary wake offsets) and are guaranteed to meet.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rendezvous"
+)
+
+func main() {
+	const n = 1024 // spectrum: channels 1..n
+
+	// Each radio knows only its own accessible channels and n.
+	alice, err := rendezvous.New(n, []int{3, 90, 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := rendezvous.New(n, []int{90, 700})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob wakes 17 slots after Alice; neither knows the offset.
+	const bobWake = 17
+	ttr, ok := rendezvous.PairTTR(alice, bob, 0, bobWake, 1_000_000)
+	if !ok {
+		log.Fatal("no rendezvous — impossible: the sets share channel 90")
+	}
+	slot := bobWake + ttr
+	fmt.Printf("rendezvous after %d slots (global slot %d) on channel %d\n",
+		ttr, slot, alice.Channel(slot))
+
+	// The guarantee is worst-case over ALL offsets, not luck:
+	worst := 0
+	for delta := 0; delta < 2000; delta++ {
+		t, ok := rendezvous.PairTTR(alice, bob, 0, delta, 1_000_000)
+		if !ok {
+			log.Fatalf("offset %d failed", delta)
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	fmt.Printf("worst TTR over 2000 wake offsets: %d slots (O(|A||B|·loglog n))\n", worst)
+}

@@ -1,0 +1,64 @@
+// TV-whitespace scenario (paper §1.3): a pooled hyperspace where the
+// universe of channels is huge but each device can access only a small
+// subset. This is where the paper's O(|A||B|·log log n) guarantee saves
+// a near-quadratic factor over the O(n²)/O(n³) prior art: the prior
+// guarantees scale with the universe, ours with the subsets.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rendezvous"
+)
+
+func main() {
+	const n = 1 << 20 // ~1M addressable channels in the pooled hyperspace
+	rng := rand.New(rand.NewSource(7))
+
+	// Two whitespace devices, each sensing 5 free channels, sharing one.
+	shared := 1 + rng.Intn(n)
+	devA := randomSetWith(rng, n, 5, shared)
+	devB := randomSetWith(rng, n, 5, shared)
+	fmt.Printf("universe n = %d\ndevice A channels: %v\ndevice B channels: %v\n\n", n, devA, devB)
+
+	a, err := rendezvous.New(n, devA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := rendezvous.New(n, devB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	worst := 0
+	for _, delta := range []int{0, 1, 13, 997, 50_000, 1_234_567} {
+		ttr, ok := rendezvous.PairTTR(a, b, 0, delta, 10_000_000)
+		if !ok {
+			log.Fatalf("offset %d: no rendezvous", delta)
+		}
+		if ttr > worst {
+			worst = ttr
+		}
+		fmt.Printf("wake offset %9d → rendezvous in %6d slots\n", delta, ttr)
+	}
+
+	// Contrast with the prior-art guarantees at this universe size.
+	fmt.Printf("\nworst observed: %d slots\n", worst)
+	fmt.Printf("CRSEQ guarantee at n=2^20:    ~3.3e12 slots (P(3P−1))\n")
+	fmt.Printf("Jump-Stay guarantee at n=2^20: ~3.5e18 slots (3P²(P−1))\n")
+	fmt.Println("ours is independent of n up to a log log factor — that is Table 1.")
+}
+
+func randomSetWith(rng *rand.Rand, n, k, shared int) []int {
+	set := map[int]bool{shared: true}
+	for len(set) < k {
+		set[1+rng.Intn(n)] = true
+	}
+	out := make([]int, 0, k)
+	for c := range set {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package asciiplot renders the two kinds of plots this repository
+// regenerates from the paper in a terminal: the walk "graphs" of binary
+// sequences (Figures 1–3) and log-log line charts of measured rendezvous
+// times (the Table-1 experiments).
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Walk renders the graph G_z of a binary sequence in the style of the
+// paper's Figures 1–3: the x axis is positions 0…|z|, the y axis the
+// walk height, with '/' for an up-step, '\' for a down-step.
+func Walk(title, bits string) string {
+	steps := make([]int, 0, len(bits))
+	heights := []int{0}
+	h := 0
+	for _, b := range bits {
+		step := -1
+		if b == '1' {
+			step = 1
+		}
+		steps = append(steps, step)
+		h += step
+		heights = append(heights, h)
+	}
+	minH, maxH := 0, 0
+	for _, v := range heights {
+		if v < minH {
+			minH = v
+		}
+		if v > maxH {
+			maxH = v
+		}
+	}
+	rows := maxH - minH + 1
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(bits)+2))
+	}
+	// Row 0 is the top (maxH); map height v to row maxH−v.
+	for i, step := range steps {
+		var glyph byte
+		var lvl int
+		if step == 1 {
+			glyph = '/'
+			lvl = heights[i+1] // the level the up-step reaches
+		} else {
+			glyph = '\\'
+			lvl = heights[i] // the level the down-step leaves
+		}
+		grid[maxH-lvl][i+1] = glyph
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  (sequence %s)\n", title, bits)
+	for r, row := range grid {
+		level := maxH - r
+		marker := "  "
+		if level == 0 {
+			marker = "0 "
+		}
+		sb.WriteString(marker)
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Series is one labeled line of a Lines chart.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Lines renders series on a log-log scatter grid of the given size.
+// Points from series i are drawn with the i-th marker character.
+func Lines(title string, width, height int, series []Series) string {
+	markers := "ox+*#@%&"
+	var minX, maxX, minY, maxY float64
+	first := true
+	for _, s := range series {
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 {
+				continue
+			}
+			if first {
+				minX, maxX, minY, maxY = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if first {
+		return title + "\n(no positive data)\n"
+	}
+	lx0, lx1 := math.Log(minX), math.Log(maxX)
+	ly0, ly1 := math.Log(minY), math.Log(maxY)
+	if lx1 == lx0 {
+		lx1 = lx0 + 1
+	}
+	if ly1 == ly0 {
+		ly1 = ly0 + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 {
+				continue
+			}
+			col := int(math.Round((math.Log(s.X[i]) - lx0) / (lx1 - lx0) * float64(width-1)))
+			row := height - 1 - int(math.Round((math.Log(s.Y[i])-ly0)/(ly1-ly0)*float64(height-1)))
+			grid[row][col] = m
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title + "  [log-log]\n")
+	for _, row := range grid {
+		sb.WriteString("| ")
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("+" + strings.Repeat("-", width+1) + "\n")
+	fmt.Fprintf(&sb, "x: %.3g … %.3g   y: %.3g … %.3g\n", minX, maxX, minY, maxY)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c = %s\n", markers[si%len(markers)], s.Label)
+	}
+	return sb.String()
+}

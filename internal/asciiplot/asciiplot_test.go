@@ -1,0 +1,58 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWalkFigure1a(t *testing.T) {
+	// The paper's Figure 1a sequence.
+	out := Walk("Figure 1a", "11010")
+	if !strings.Contains(out, "11010") {
+		t.Error("missing sequence in caption")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Heights 0..2 → 3 grid rows plus caption.
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	ups := strings.Count(out, "/")
+	downs := strings.Count(out, "\\")
+	if ups != 3 || downs != 2 {
+		t.Errorf("ups=%d downs=%d, want 3/2:\n%s", ups, downs, out)
+	}
+	// The zero axis marker must be present.
+	if !strings.Contains(out, "0 ") {
+		t.Error("missing zero-level marker")
+	}
+}
+
+func TestWalkNegativeExcursion(t *testing.T) {
+	out := Walk("dip", "0011")
+	if strings.Count(out, "\\") != 2 || strings.Count(out, "/") != 2 {
+		t.Errorf("unexpected glyph counts:\n%s", out)
+	}
+}
+
+func TestLinesBasic(t *testing.T) {
+	out := Lines("ttr", 40, 10, []Series{
+		{Label: "ours", X: []float64{2, 4, 8}, Y: []float64{3, 3, 4}},
+		{Label: "crseq", X: []float64{2, 4, 8}, Y: []float64{12, 48, 200}},
+	})
+	if !strings.Contains(out, "ours") || !strings.Contains(out, "crseq") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatalf("missing markers:\n%s", out)
+	}
+	if !strings.Contains(out, "log-log") {
+		t.Error("missing scale note")
+	}
+}
+
+func TestLinesEmpty(t *testing.T) {
+	out := Lines("empty", 10, 5, []Series{{Label: "none"}})
+	if !strings.Contains(out, "no positive data") {
+		t.Fatalf("expected empty-data notice:\n%s", out)
+	}
+}

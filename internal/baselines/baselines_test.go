@@ -1,0 +1,326 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"rendezvous/internal/primes"
+	"rendezvous/internal/schedule"
+)
+
+func ttr(a, b schedule.Schedule, delta, horizon int) (int, bool) {
+	for s := 0; s < horizon; s++ {
+		if a.Channel(s+delta) == b.Channel(s) {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+func subsetsOf(n int) [][]int {
+	var out [][]int
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var s []int
+		for c := 1; c <= n; c++ {
+			if mask>>(uint(c)-1)&1 == 1 {
+				s = append(s, c)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func intersects(a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestCRSEQAsymmetricRendezvousExhaustive sweeps all overlapping subset
+// pairs and all offsets for the universes where deterministic CRSEQ
+// does hold exhaustively (n = 4 is the documented exception, pinned by
+// TestCRSEQCounterexample below).
+func TestCRSEQAsymmetricRendezvousExhaustive(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		subsets := subsetsOf(n)
+		scheds := make([]*CRSEQ, len(subsets))
+		for i, s := range subsets {
+			c, err := NewCRSEQ(n, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scheds[i] = c
+		}
+		for i, a := range subsets {
+			for j, b := range subsets {
+				if !intersects(a, b) {
+					continue
+				}
+				for delta := 0; delta < scheds[i].Period(); delta++ {
+					if _, ok := ttr(scheds[i], scheds[j], delta, scheds[i].Period()); !ok {
+						t.Fatalf("n=%d sets %v/%v: CRSEQ missed at offset %d", n, a, b, delta)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCRSEQCounterexample pins the reproduction finding from DESIGN.md:
+// deterministic index-remapped CRSEQ has NO asymmetric guarantee — the
+// sets {2,4} and {1,3,4} at n=4, wake offset 35, never rendezvous.
+func TestCRSEQCounterexample(t *testing.T) {
+	a, err := NewCRSEQ(4, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCRSEQ(4, []int{1, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ttr(a, b, 35, 10*a.Period()); ok {
+		t.Fatal("counterexample vanished: CRSEQ {2,4}/{1,3,4} offset 35 now meets — did the sequence change?")
+	}
+}
+
+// TestCRSEQRandomizedFixesCounterexample shows the pseudo-random remap
+// restores rendezvous on the exact counterexample pair.
+func TestCRSEQRandomizedFixesCounterexample(t *testing.T) {
+	a, err := NewCRSEQRandomized(4, []int{2, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCRSEQRandomized(4, []int{1, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ttr(a, b, 35, 10*a.Period())
+	if !ok {
+		t.Fatal("randomized CRSEQ failed to meet on the counterexample pair")
+	}
+	if got > 2*a.Period() {
+		t.Errorf("randomized CRSEQ unexpectedly slow: %d slots", got)
+	}
+}
+
+// TestCRSEQSymmetricFullSet checks the Table-1 symmetric role: identical
+// full channel sets always meet within one period.
+func TestCRSEQSymmetricFullSet(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		full := make([]int, n)
+		for i := range full {
+			full[i] = i + 1
+		}
+		c, err := NewCRSEQ(n, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for delta := 0; delta < c.Period(); delta++ {
+			if _, ok := ttr(c, c, delta, c.Period()); !ok {
+				t.Fatalf("n=%d: symmetric CRSEQ missed at offset %d", n, delta)
+			}
+		}
+	}
+}
+
+// TestJumpStayAsymmetricRendezvousExhaustive: with P the smallest prime
+// strictly greater than n, jump-stay meets for every overlapping subset
+// pair and every offset (exhaustive for n ≤ 4).
+func TestJumpStayAsymmetricRendezvousExhaustive(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		subsets := subsetsOf(n)
+		scheds := make([]*JumpStay, len(subsets))
+		for i, s := range subsets {
+			j, err := NewJumpStay(n, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scheds[i] = j
+		}
+		for i, a := range subsets {
+			for j, b := range subsets {
+				if !intersects(a, b) {
+					continue
+				}
+				for delta := 0; delta < scheds[i].Period(); delta++ {
+					if _, ok := ttr(scheds[i], scheds[j], delta, scheds[i].Period()); !ok {
+						t.Fatalf("n=%d sets %v/%v: jump-stay missed at offset %d", n, a, b, delta)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJumpStaySymmetricLinear verifies the Table-1 symmetric column for
+// JS: identical full sets meet in O(P) slots (we allow 6P).
+func TestJumpStaySymmetricLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{5, 8, 13, 16} {
+		full := make([]int, n)
+		for i := range full {
+			full[i] = i + 1
+		}
+		js, err := NewJumpStay(n, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lim := 6 * primes.NextAtLeast(n+1)
+		for trial := 0; trial < 50; trial++ {
+			delta := rng.Intn(js.Period())
+			got, ok := ttr(js, js, delta, js.Period())
+			if !ok {
+				t.Fatalf("n=%d: symmetric JS missed at offset %d", n, delta)
+			}
+			if got > lim {
+				t.Fatalf("n=%d offset %d: symmetric JS TTR %d > %d", n, delta, got, lim)
+			}
+		}
+	}
+}
+
+func TestRandomEventuallyMeets(t *testing.T) {
+	const n = 32
+	a, err := NewRandom(n, []int{1, 5, 9, 12}, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandom(n, []int{9, 20, 31}, 2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected TTR ≈ k·ℓ = 12; give it 100× slack.
+	if _, ok := ttr(a, b, 17, 1200); !ok {
+		t.Error("random schedules failed to meet within 100× expectation")
+	}
+}
+
+func TestRandomIsPure(t *testing.T) {
+	r, err := NewRandom(8, []int{2, 4, 6}, 99, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 500; s++ {
+		if r.Channel(s) != r.Channel(s) {
+			t.Fatal("Channel not deterministic")
+		}
+	}
+}
+
+func TestSweepSynchronousBound(t *testing.T) {
+	// Rs(n,k) ≤ n: with zero offset any two overlapping sets meet within
+	// n slots.
+	const n = 12
+	subsets := [][]int{{1, 3}, {3, 7, 9}, {2, 3}, {1, 2, 3, 4, 5}, {12}, {3, 12}}
+	for _, a := range subsets {
+		sa, err := NewSweep(n, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range subsets {
+			if !intersects(a, b) {
+				continue
+			}
+			sb, err := NewSweep(n, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := ttr(sa, sb, 0, n)
+			if !ok {
+				t.Fatalf("sweep: %v/%v no synchronous rendezvous within n", a, b)
+			}
+			if got >= n {
+				t.Fatalf("sweep TTR %d ≥ n", got)
+			}
+		}
+	}
+}
+
+func TestCRSEQSymmetricWrapperConstantTime(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		set := []int{1, n / 2, n}
+		w, err := NewCRSEQSymmetric(n, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for delta := 0; delta < 100; delta++ {
+			got, ok := ttr(w, w, delta, 7)
+			if !ok || got > 6 {
+				t.Fatalf("n=%d offset %d: wrapped CRSEQ symmetric TTR not O(1)", n, delta)
+			}
+		}
+	}
+}
+
+func TestSchedulesStayInSet(t *testing.T) {
+	n := 16
+	set := []int{2, 7, 11}
+	inSet := map[int]bool{2: true, 7: true, 11: true}
+	builders := map[string]func() (schedule.Schedule, error){
+		"crseq": func() (schedule.Schedule, error) { return NewCRSEQ(n, set) },
+		"crseq-rand": func() (schedule.Schedule, error) {
+			return NewCRSEQRandomized(n, set, 11)
+		},
+		"jumpstay": func() (schedule.Schedule, error) { return NewJumpStay(n, set) },
+		"random":   func() (schedule.Schedule, error) { return NewRandom(n, set, 5, 4096) },
+		"sweep":    func() (schedule.Schedule, error) { return NewSweep(n, set) },
+	}
+	for name, build := range builders {
+		s, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		limit := s.Period()
+		if limit > 5000 {
+			limit = 5000
+		}
+		for slot := 0; slot < limit; slot++ {
+			if !inSet[s.Channel(slot)] {
+				t.Fatalf("%s: Channel(%d) = %d outside set", name, slot, s.Channel(slot))
+			}
+		}
+		if got := s.Channels(); len(got) != 3 || got[0] != 2 || got[2] != 11 {
+			t.Fatalf("%s: Channels() = %v", name, got)
+		}
+	}
+}
+
+func TestPeriodsMatchTableOneShapes(t *testing.T) {
+	// The baseline periods are the O(n²) / O(n³) guarantees of Table 1.
+	for _, n := range []int{10, 100, 1000} {
+		c, err := NewCRSEQ(n, []int{1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := primes.NextAtLeast(n + 1)
+		if c.Period() != p*(3*p-1) {
+			t.Errorf("n=%d: CRSEQ period %d, want P(3P−1)", n, c.Period())
+		}
+		js, err := NewJumpStay(n, []int{1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if js.Period() != 3*p*p*(p-1) {
+			t.Errorf("n=%d: JS period %d, want 3P²(P−1)", n, js.Period())
+		}
+	}
+}
+
+func TestConstructorsRejectBadInput(t *testing.T) {
+	for name, f := range map[string]func() error{
+		"crseq-empty":    func() error { _, err := NewCRSEQ(4, nil); return err },
+		"jumpstay-range": func() error { _, err := NewJumpStay(4, []int{5}); return err },
+		"random-period":  func() error { _, err := NewRandom(4, []int{1}, 0, 0); return err },
+		"sweep-dup":      func() error { _, err := NewSweep(4, []int{1, 1}); return err },
+	} {
+		if f() == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package beacon implements §5 of Chen et al. (ICDCS 2014): rendezvous
+// with a one-bit random beacon. The environment broadcasts one common
+// random bit per slot; agents derive a shared pseudo-permutation πₜ of
+// the channel universe from the bit stream and hop on
+// argmin_{a ∈ S} πₜ(a). Because every agent evaluates the same πₜ,
+// overlapping sets collide as soon as some shared channel is the common
+// argmin — probability ≥ (1−ε)/|S_i ∪ S_j| per fresh draw under an
+// ε-min-wise family — breaking the deterministic Ω(|S_i||S_j|) barrier.
+//
+// Two protocols are provided, matching the paper's two constructions:
+//
+//   - Fresh: a brand-new permutation seed every d·⌈log₂P⌉ beacon bits
+//     (disjoint windows → independent draws); rendezvous w.h.p. in
+//     O((|S_i|+|S_j|)·log n) slots.
+//   - Walk: one seed from the first window, then a constant number of
+//     beacon bits per redraw via a walk on an expander-style graph over
+//     the seed space; rendezvous w.h.p. in O(|S_i|+|S_j|+log n) slots.
+//
+// Substitutions versus the paper (recorded in DESIGN.md): Indyk's
+// ε-min-wise family is realized as a degree-d polynomial hash over a
+// prime field (Indyk's construction is itself built from O(log 1/ε)-wise
+// independence), and the explicit expander is a degree-4 affine Cayley
+// graph over Z_2^64. The properties the protocols need — min capture
+// probability and per-step randomness at O(1) bits — are verified
+// empirically by this package's tests.
+package beacon
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rendezvous/internal/primes"
+	"rendezvous/internal/schedule"
+)
+
+// Source is the shared beacon: a deterministic, seedable stream of
+// uniform bits, one per slot. All agents in a simulation must share the
+// same Source value for the protocol to be meaningful.
+type Source struct {
+	seed uint64
+}
+
+// NewSource returns a beacon stream for the given seed.
+func NewSource(seed uint64) Source { return Source{seed: seed} }
+
+// Bit returns beacon bit i (i ≥ 0).
+func (s Source) Bit(i int) byte {
+	return byte(splitmix64(s.seed^(0xbeac0+uint64(i))) & 1)
+}
+
+// window packs bits [from, from+count) into a uint64 (count ≤ 64),
+// most significant bit first.
+func (s Source) window(from, count int) uint64 {
+	var v uint64
+	for i := 0; i < count; i++ {
+		v = v<<1 | uint64(s.Bit(from+i))
+	}
+	return v
+}
+
+// Config tunes the beacon protocols.
+type Config struct {
+	// Degree is the independence degree d of the polynomial hash family
+	// (Indyk needs O(log 1/ε)-wise; the default 8 comfortably exceeds
+	// ε = 1/2). Zero selects the default.
+	Degree int
+	// Period is the cycle length reported to the Schedule contract (the
+	// protocols are effectively aperiodic; Channel wraps at Period).
+	// Zero selects 1<<22.
+	Period int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Degree == 0 {
+		c.Degree = 8
+	}
+	if c.Period == 0 {
+		c.Period = 1 << 22
+	}
+	return c
+}
+
+// family is the shared machinery: a degree-d polynomial hash over F_p
+// with p the smallest prime > n.
+type family struct {
+	n         int
+	set       []int
+	src       Source
+	degree    int
+	prime     uint64
+	fieldBits int
+	period    int
+}
+
+func newFamily(n int, channels []int, src Source, cfg Config) (family, error) {
+	sorted, err := schedule.ValidateChannels(n, channels)
+	if err != nil {
+		return family{}, err
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Degree < 2 {
+		return family{}, fmt.Errorf("beacon: degree must be ≥ 2, got %d", cfg.Degree)
+	}
+	if cfg.Period < 1 {
+		return family{}, fmt.Errorf("beacon: period must be positive, got %d", cfg.Period)
+	}
+	p := primes.NextAtLeast(n + 1)
+	return family{
+		n:         n,
+		set:       sorted,
+		src:       src,
+		degree:    cfg.Degree,
+		prime:     uint64(p),
+		fieldBits: bits.Len(uint(p)),
+		period:    cfg.Period,
+	}, nil
+}
+
+// seedBits is the number of beacon bits needed for one fresh seed:
+// the paper's d·log n.
+func (f family) seedBits() int { return f.degree * f.fieldBits }
+
+// coeffs derives the d polynomial coefficients from a 64-bit seed.
+func (f family) coeffs(seed uint64, out []uint64) {
+	for i := range out {
+		out[i] = splitmix64(seed+uint64(i)*0x9e3779b97f4a7c15) % f.prime
+	}
+}
+
+// argmin returns the channel of the set minimizing the polynomial hash,
+// breaking ties toward the smaller channel.
+func (f family) argmin(coeffs []uint64) int {
+	best := f.set[0]
+	bestVal := f.eval(coeffs, uint64(f.set[0]))
+	for _, ch := range f.set[1:] {
+		if v := f.eval(coeffs, uint64(ch)); v < bestVal {
+			best, bestVal = ch, v
+		}
+	}
+	return best
+}
+
+// eval computes the polynomial at x by Horner's rule. Operands stay
+// below 2³² for any realistic universe, so the products fit in uint64.
+func (f family) eval(coeffs []uint64, x uint64) uint64 {
+	var acc uint64
+	for _, c := range coeffs {
+		acc = (acc*x + c) % f.prime
+	}
+	return acc
+}
+
+// channelsCopy implements the Channels method shared by both protocols.
+func (f family) channelsCopy() []int {
+	out := make([]int, len(f.set))
+	copy(out, f.set)
+	return out
+}
+
+// splitmix64 is the SplitMix64 mixing function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

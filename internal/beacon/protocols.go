@@ -1,0 +1,120 @@
+package beacon
+
+import (
+	"fmt"
+
+	"rendezvous/internal/schedule"
+)
+
+// Fresh is the simple §5 protocol: every W = d·⌈log₂P⌉ slots the agents
+// read the last full window of beacon bits as a new permutation seed.
+// During the initial warm-up window (no complete window yet) agents park
+// on their smallest channel.
+type Fresh struct {
+	f family
+}
+
+var _ schedule.Schedule = (*Fresh)(nil)
+
+// NewFresh builds the fresh-seed beacon protocol over the given channel
+// set. Agents that should rendezvous must share the same Source.
+func NewFresh(n int, channels []int, src Source, cfg Config) (*Fresh, error) {
+	f, err := newFamily(n, channels, src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Fresh{f: f}, nil
+}
+
+// Warmup returns the number of slots before the first permutation draw:
+// the paper's d·log n bit cost.
+func (fr *Fresh) Warmup() int { return fr.f.seedBits() }
+
+// Channel implements schedule.Schedule.
+func (fr *Fresh) Channel(t int) int {
+	t %= fr.f.period
+	w := fr.f.seedBits()
+	if t < w {
+		return fr.f.set[0]
+	}
+	epoch := t / w // epoch ≥ 1; bits of window epoch−1 are complete
+	seed := fr.f.src.window((epoch-1)*w, min(w, 64))
+	coeffs := make([]uint64, fr.f.degree)
+	fr.f.coeffs(seed^uint64(epoch)*0x632be59bd9b4e019, coeffs)
+	return fr.f.argmin(coeffs)
+}
+
+// Period implements schedule.Schedule.
+func (fr *Fresh) Period() int { return fr.f.period }
+
+// Channels implements schedule.Schedule.
+func (fr *Fresh) Channels() []int { return fr.f.channelsCopy() }
+
+// walkStepBits is the number of beacon bits consumed per expander step
+// (degree-4 graph): the paper's "O(1) bits per subsequent element".
+const walkStepBits = 2
+
+// walkGenerators are four invertible affine maps on Z_2^64 (odd
+// multipliers); the step indexed by two beacon bits applies one of them.
+var walkGenerators = [4]struct{ mul, add uint64 }{
+	{0x9e3779b97f4a7c15, 0x7f4a7c159e3779b9},
+	{0xbf58476d1ce4e5b9, 0x94d049bb133111eb},
+	{0xd6e8feb86659fd93, 0x2545f4914f6cdd1d},
+	{0xa0761d6478bd642f, 0xe7037ed1a0b428db},
+}
+
+// Walk is the amplified §5 protocol: one seed from the first window,
+// then a new permutation every walkStepBits slots by stepping a walk on
+// an expander-style graph over the seed space. Total bit cost to
+// rendezvous: O(log n) + O(1) per draw — the paper's
+// O(|S_i|+|S_j|+log n).
+type Walk struct {
+	f      family
+	states []uint64 // state after each step, precomputed for purity
+}
+
+var _ schedule.Schedule = (*Walk)(nil)
+
+// NewWalk builds the expander-walk beacon protocol. The walk states are
+// precomputed up to cfg.Period so that Channel stays a pure function.
+func NewWalk(n int, channels []int, src Source, cfg Config) (*Walk, error) {
+	f, err := newFamily(n, channels, src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := f.seedBits()
+	steps := (f.period-w)/walkStepBits + 2
+	if steps < 1 {
+		return nil, fmt.Errorf("beacon: period %d shorter than warm-up %d", f.period, w)
+	}
+	states := make([]uint64, steps)
+	states[0] = splitmix64(f.src.window(0, min(w, 64)))
+	for i := 1; i < steps; i++ {
+		g := f.src.window(w+(i-1)*walkStepBits, walkStepBits)
+		gen := walkGenerators[g&3]
+		states[i] = states[i-1]*gen.mul + gen.add
+	}
+	return &Walk{f: f, states: states}, nil
+}
+
+// Warmup returns the number of slots before the first permutation draw.
+func (wk *Walk) Warmup() int { return wk.f.seedBits() }
+
+// Channel implements schedule.Schedule.
+func (wk *Walk) Channel(t int) int {
+	t %= wk.f.period
+	w := wk.f.seedBits()
+	if t < w {
+		return wk.f.set[0]
+	}
+	step := (t - w) / walkStepBits
+	coeffs := make([]uint64, wk.f.degree)
+	wk.f.coeffs(wk.states[step], coeffs)
+	return wk.f.argmin(coeffs)
+}
+
+// Period implements schedule.Schedule.
+func (wk *Walk) Period() int { return wk.f.period }
+
+// Channels implements schedule.Schedule.
+func (wk *Walk) Channels() []int { return wk.f.channelsCopy() }

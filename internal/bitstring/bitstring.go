@@ -1,0 +1,459 @@
+// Package bitstring implements fixed-length binary strings together with
+// the prefix-sum "graph" machinery used by the blind-rendezvous
+// constructions of Chen, Russell, Samanta and Sundaram (ICDCS 2014).
+//
+// A String is an immutable-by-convention sequence of bits s_0 s_1 … s_{ℓ-1}.
+// Its graph G is the walk G(0)=0, G(k) = Σ_{i<k} (2·s_i − 1): each 1 is a
+// step up, each 0 a step down (paper §3, Figure 1). The package provides
+// the predicates the paper's Theorem 1 relies on — balanced, Catalan,
+// strictly Catalan, and t-maximal/t-minimal — along with rotations,
+// concatenation, complementation and insertion.
+//
+// For balanced strings the graph is a closed walk, so maxima and minima
+// are counted over the cyclic domain {0, …, ℓ-1}; this is the convention
+// under which "t-maximality is preserved by all shifts" (paper §3).
+package bitstring
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// String is a fixed-length binary string. The zero value is the empty
+// string. Transform methods return new values and never mutate the
+// receiver; SetBit is the only mutating method and is intended for
+// builder-style construction before a value is shared.
+type String struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero string of length n. It panics if n is negative.
+func New(n int) String {
+	if n < 0 {
+		panic(fmt.Sprintf("bitstring: negative length %d", n))
+	}
+	return String{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Parse converts a textual bit pattern such as "0100110" into a String.
+// Every byte must be '0' or '1'.
+func Parse(s string) (String, error) {
+	b := New(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			// already zero
+		case '1':
+			b.SetBit(i, 1)
+		default:
+			return String{}, fmt.Errorf("bitstring: invalid character %q at index %d", s[i], i)
+		}
+	}
+	return b, nil
+}
+
+// MustParse is Parse for known-good literals; it panics on error.
+func MustParse(s string) String {
+	b, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// FromUint returns the canonical base-two encoding of v, zero-padded on
+// the left to width bits (most significant bit first), matching the
+// paper's x₂ notation. It reports an error if v does not fit in width
+// bits.
+func FromUint(v uint64, width int) (String, error) {
+	if width < 0 || width > 64 {
+		return String{}, fmt.Errorf("bitstring: width %d out of range [0,64]", width)
+	}
+	if width < 64 && v >= 1<<uint(width) {
+		return String{}, fmt.Errorf("bitstring: value %d does not fit in %d bits", v, width)
+	}
+	b := New(width)
+	for j := 0; j < width; j++ {
+		if v>>uint(width-1-j)&1 == 1 {
+			b.SetBit(j, 1)
+		}
+	}
+	return b, nil
+}
+
+// MustFromUint is FromUint for arguments known to be in range.
+func MustFromUint(v uint64, width int) String {
+	b, err := FromUint(v, width)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Len returns the number of bits in s.
+func (s String) Len() int { return s.n }
+
+// Bit returns bit i of s (0 or 1).
+func (s String) Bit(i int) byte {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitstring: index %d out of range [0,%d)", i, s.n))
+	}
+	return byte(s.words[i/64] >> uint(i%64) & 1)
+}
+
+// SetBit sets bit i of s to b (0 or 1), mutating s in place.
+func (s *String) SetBit(i int, b byte) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitstring: index %d out of range [0,%d)", i, s.n))
+	}
+	if b == 0 {
+		s.words[i/64] &^= 1 << uint(i%64)
+	} else {
+		s.words[i/64] |= 1 << uint(i%64)
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s String) Clone() String {
+	out := String{n: s.n, words: make([]uint64, len(s.words))}
+	copy(out.words, s.words)
+	return out
+}
+
+// Equal reports whether s and t have the same length and bits.
+func (s String) Equal(t String) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders s as a pattern of '0' and '1' characters.
+func (s String) String() string {
+	var sb strings.Builder
+	sb.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		sb.WriteByte('0' + s.Bit(i))
+	}
+	return sb.String()
+}
+
+// Uint interprets s (most significant bit first) as an unsigned integer.
+// It reports an error if s is longer than 64 bits.
+func (s String) Uint() (uint64, error) {
+	if s.n > 64 {
+		return 0, fmt.Errorf("bitstring: length %d exceeds 64 bits", s.n)
+	}
+	var v uint64
+	for i := 0; i < s.n; i++ {
+		v = v<<1 | uint64(s.Bit(i))
+	}
+	return v, nil
+}
+
+// Concat returns the concatenation of parts in order.
+func Concat(parts ...String) String {
+	total := 0
+	for _, p := range parts {
+		total += p.n
+	}
+	out := New(total)
+	at := 0
+	for _, p := range parts {
+		for i := 0; i < p.n; i++ {
+			out.SetBit(at+i, p.Bit(i))
+		}
+		at += p.n
+	}
+	return out
+}
+
+// Complement returns the coordinatewise negation of s (paper's x̄).
+func (s String) Complement() String {
+	out := s.Clone()
+	for i := range out.words {
+		out.words[i] = ^out.words[i]
+	}
+	// Clear bits beyond the logical length.
+	if rem := out.n % 64; rem != 0 && len(out.words) > 0 {
+		out.words[len(out.words)-1] &= 1<<uint(rem) - 1
+	}
+	return out
+}
+
+// Rotate returns the cyclic shift Sᵏ s with result bit j equal to
+// s_{(j+k) mod ℓ}; k may be any integer (negative rotates the other way).
+// The empty string rotates to itself.
+func (s String) Rotate(k int) String {
+	if s.n == 0 {
+		return s
+	}
+	k %= s.n
+	if k < 0 {
+		k += s.n
+	}
+	out := New(s.n)
+	for j := 0; j < s.n; j++ {
+		out.SetBit(j, s.Bit((j+k)%s.n))
+	}
+	return out
+}
+
+// Weight returns the number of 1 bits in s (paper's wt).
+func (s String) Weight() int {
+	w := 0
+	for _, word := range s.words {
+		w += bits.OnesCount64(word)
+	}
+	return w
+}
+
+// Graph returns the walk G of s as a slice of length ℓ+1 with
+// G[0] = 0 and G[k] = Σ_{i<k} (2·s_i − 1).
+func (s String) Graph() []int {
+	g := make([]int, s.n+1)
+	for i := 0; i < s.n; i++ {
+		step := -1
+		if s.Bit(i) == 1 {
+			step = 1
+		}
+		g[i+1] = g[i] + step
+	}
+	return g
+}
+
+// IsBalanced reports whether wt(s) = |s|/2 (equivalently G(ℓ) = 0).
+// The empty string is balanced.
+func (s String) IsBalanced() bool { return 2*s.Weight() == s.n }
+
+// IsCatalan reports whether s is balanced and its graph never goes
+// negative.
+func (s String) IsCatalan() bool {
+	if !s.IsBalanced() {
+		return false
+	}
+	h := 0
+	for i := 0; i < s.n; i++ {
+		if s.Bit(i) == 1 {
+			h++
+		} else {
+			h--
+		}
+		if h < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStrictlyCatalan reports whether s is balanced and its graph is
+// strictly positive at every interior point: G(i) > 0 for 0 < i < ℓ.
+// Strings of length < 2 are not strictly Catalan.
+func (s String) IsStrictlyCatalan() bool {
+	if s.n < 2 || !s.IsBalanced() {
+		return false
+	}
+	h := 0
+	for i := 0; i < s.n-1; i++ {
+		if s.Bit(i) == 1 {
+			h++
+		} else {
+			h--
+		}
+		if h <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxPoints returns the indices i in the cyclic domain {0,…,ℓ-1} at which
+// the graph attains its maximum over that domain. For balanced strings
+// the count of such points is invariant under rotation.
+func (s String) MaxPoints() []int { return s.extremePoints(true) }
+
+// MinPoints is the minimum analogue of MaxPoints.
+func (s String) MinPoints() []int { return s.extremePoints(false) }
+
+func (s String) extremePoints(maximum bool) []int {
+	if s.n == 0 {
+		return nil
+	}
+	g := s.Graph()
+	best := g[0]
+	for i := 0; i < s.n; i++ {
+		if maximum && g[i] > best || !maximum && g[i] < best {
+			best = g[i]
+		}
+	}
+	var pts []int
+	for i := 0; i < s.n; i++ {
+		if g[i] == best {
+			pts = append(pts, i)
+		}
+	}
+	return pts
+}
+
+// IsTMaximal reports whether exactly t points of the cyclic domain attain
+// the graph's maximum (paper's t-maximality).
+func (s String) IsTMaximal(t int) bool { return len(s.MaxPoints()) == t }
+
+// IsTMinimal reports whether exactly t points of the cyclic domain attain
+// the graph's minimum.
+func (s String) IsTMinimal(t int) bool { return len(s.MinPoints()) == t }
+
+// Insert returns the string obtained by inserting t between positions
+// pos-1 and pos of s (0 ≤ pos ≤ ℓ).
+func (s String) Insert(pos int, t String) String {
+	if pos < 0 || pos > s.n {
+		panic(fmt.Sprintf("bitstring: insert position %d out of range [0,%d]", pos, s.n))
+	}
+	return Concat(s.Slice(0, pos), t, s.Slice(pos, s.n))
+}
+
+// Slice returns the substring s_i … s_{j-1}.
+func (s String) Slice(i, j int) String {
+	if i < 0 || j < i || j > s.n {
+		panic(fmt.Sprintf("bitstring: slice bounds [%d,%d) out of range [0,%d]", i, j, s.n))
+	}
+	out := New(j - i)
+	for k := i; k < j; k++ {
+		out.SetBit(k-i, s.Bit(k))
+	}
+	return out
+}
+
+// Repeat returns s concatenated with itself count times. Repeat(0) is the
+// empty string.
+func (s String) Repeat(count int) String {
+	if count < 0 {
+		panic(fmt.Sprintf("bitstring: negative repeat count %d", count))
+	}
+	parts := make([]String, count)
+	for i := range parts {
+		parts[i] = s
+	}
+	return Concat(parts...)
+}
+
+// Ones returns a string of n 1-bits.
+func Ones(n int) String {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		s.SetBit(i, 1)
+	}
+	return s
+}
+
+// Zeros returns a string of n 0-bits. It is New with a name that reads
+// well next to Ones.
+func Zeros(n int) String { return New(n) }
+
+// CatalanShift returns the smallest c such that Rotate(c) is Catalan.
+// The receiver must be balanced; CatalanShift panics otherwise. (This is
+// the cycle-lemma rotation used by the paper's U construction.)
+func (s String) CatalanShift() int {
+	if !s.IsBalanced() {
+		panic("bitstring: CatalanShift requires a balanced string")
+	}
+	if s.n == 0 {
+		return 0
+	}
+	g := s.Graph()
+	min, at := g[0], 0
+	for i := 1; i < s.n; i++ {
+		if g[i] < min {
+			min, at = g[i], i
+		}
+	}
+	return at
+}
+
+// IsRotationOf reports whether s equals some rotation of t.
+func (s String) IsRotationOf(t String) bool {
+	if s.n != t.n {
+		return false
+	}
+	for k := 0; k < s.n; k++ {
+		if s.Equal(t.Rotate(k)) {
+			return true
+		}
+	}
+	return s.n == 0
+}
+
+// CoOccurrence describes which of the four simultaneous bit pairs occur
+// when two equal-length strings are read in lockstep.
+type CoOccurrence struct {
+	ZeroZero bool // some index t with r_t = 0 and s_t = 0
+	ZeroOne  bool // some index t with r_t = 0 and s_t = 1
+	OneZero  bool // some index t with r_t = 1 and s_t = 0
+	OneOne   bool // some index t with r_t = 1 and s_t = 1
+}
+
+// CoOccurrences scans r and s in lockstep and reports which bit pairs
+// (r_t, s_t) are realized. The strings must have equal length.
+func CoOccurrences(r, s String) CoOccurrence {
+	if r.n != s.n {
+		panic(fmt.Sprintf("bitstring: length mismatch %d vs %d", r.n, s.n))
+	}
+	var c CoOccurrence
+	for t := 0; t < r.n; t++ {
+		switch {
+		case r.Bit(t) == 0 && s.Bit(t) == 0:
+			c.ZeroZero = true
+		case r.Bit(t) == 0 && s.Bit(t) == 1:
+			c.ZeroOne = true
+		case r.Bit(t) == 1 && s.Bit(t) == 0:
+			c.OneZero = true
+		default:
+			c.OneOne = true
+		}
+	}
+	return c
+}
+
+// DiamondOne reports the paper's r ♦₁ s condition: both (0,1) and (1,0)
+// occur in lockstep.
+func DiamondOne(r, s String) bool {
+	c := CoOccurrences(r, s)
+	return c.ZeroOne && c.OneZero
+}
+
+// DiamondZero reports the paper's r ♦₀ s condition: both (0,0) and (1,1)
+// occur in lockstep.
+func DiamondZero(r, s String) bool {
+	c := CoOccurrences(r, s)
+	return c.ZeroZero && c.OneOne
+}
+
+// CircledOne reports the paper's r ◇₁ s condition: Sⁱr ♦₁ Sʲs for every
+// pair of rotations i, j. Because ♦ conditions depend only on the relative
+// rotation, the scan is over a single rotation index.
+func CircledOne(r, s String) bool {
+	for k := 0; k < max(1, s.n); k++ {
+		if !DiamondOne(r, s.Rotate(k)) {
+			return false
+		}
+	}
+	return true
+}
+
+// CircledZero reports the paper's r ◇₀ s condition: Sⁱr ♦₀ Sʲs for every
+// pair of rotations i, j.
+func CircledZero(r, s String) bool {
+	for k := 0; k < max(1, s.n); k++ {
+		if !DiamondZero(r, s.Rotate(k)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,434 @@
+package bitstring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	cases := []string{"", "0", "1", "01", "11010", "110001", "0100110"}
+	for _, c := range cases {
+		s, err := Parse(c)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c, err)
+		}
+		if got := s.String(); got != c {
+			t.Errorf("Parse(%q).String() = %q", c, got)
+		}
+		if s.Len() != len(c) {
+			t.Errorf("Parse(%q).Len() = %d, want %d", c, s.Len(), len(c))
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, c := range []string{"2", "01x", "abc", "0 1"} {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+}
+
+func TestFromUint(t *testing.T) {
+	cases := []struct {
+		v     uint64
+		width int
+		want  string
+	}{
+		{0, 0, ""},
+		{0, 3, "000"},
+		{1, 1, "1"},
+		{5, 3, "101"},
+		{5, 5, "00101"},
+		{13, 4, "1101"},
+	}
+	for _, c := range cases {
+		s, err := FromUint(c.v, c.width)
+		if err != nil {
+			t.Fatalf("FromUint(%d,%d): %v", c.v, c.width, err)
+		}
+		if got := s.String(); got != c.want {
+			t.Errorf("FromUint(%d,%d) = %q, want %q", c.v, c.width, got, c.want)
+		}
+		back, err := s.Uint()
+		if err != nil {
+			t.Fatalf("Uint: %v", err)
+		}
+		if back != c.v {
+			t.Errorf("round trip FromUint(%d,%d).Uint() = %d", c.v, c.width, back)
+		}
+	}
+	if _, err := FromUint(8, 3); err == nil {
+		t.Error("FromUint(8,3): expected overflow error")
+	}
+	if _, err := FromUint(1, 65); err == nil {
+		t.Error("FromUint(1,65): expected width error")
+	}
+}
+
+func TestBitAndSetBit(t *testing.T) {
+	s := New(130) // crosses word boundaries
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.SetBit(i, 1)
+		if s.Bit(i) != 1 {
+			t.Errorf("bit %d not set", i)
+		}
+		s.SetBit(i, 0)
+		if s.Bit(i) != 0 {
+			t.Errorf("bit %d not cleared", i)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := MustParse("01")
+	b := MustParse("110")
+	c := MustParse("")
+	if got := Concat(a, b, c, a).String(); got != "0111001" {
+		t.Errorf("Concat = %q, want 0111001", got)
+	}
+	if got := Concat().Len(); got != 0 {
+		t.Errorf("Concat() length = %d", got)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	s := MustParse("0100110")
+	if got := s.Complement().String(); got != "1011001" {
+		t.Errorf("Complement = %q", got)
+	}
+	// Complement must not disturb packing padding.
+	long := Ones(70)
+	if w := long.Complement().Weight(); w != 0 {
+		t.Errorf("Complement(1^70).Weight() = %d, want 0", w)
+	}
+}
+
+func TestRotate(t *testing.T) {
+	s := MustParse("0100110")
+	cases := []struct {
+		k    int
+		want string
+	}{
+		{0, "0100110"},
+		{1, "1001100"},
+		{2, "0011001"},
+		{7, "0100110"},
+		{-1, "0010011"},
+		{8, "1001100"},
+	}
+	for _, c := range cases {
+		if got := s.Rotate(c.k).String(); got != c.want {
+			t.Errorf("Rotate(%d) = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestGraphMatchesPaperFigure1(t *testing.T) {
+	// Figure 1a: the graph of 11010.
+	g := MustParse("11010").Graph()
+	want := []int{0, 1, 2, 1, 2, 1}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("Graph(11010) = %v, want %v", g, want)
+		}
+	}
+	// Figure 1b: 110001 is balanced.
+	if !MustParse("110001").IsBalanced() {
+		t.Error("110001 should be balanced")
+	}
+	if MustParse("11010").IsBalanced() {
+		t.Error("11010 should not be balanced")
+	}
+}
+
+func TestCatalanPredicates(t *testing.T) {
+	cases := []struct {
+		s                 string
+		balanced, catalan bool
+		strictlyCatalan   bool
+	}{
+		{"", true, true, false},
+		{"10", true, true, true},
+		{"01", true, false, false},
+		{"1100", true, true, false},  // touches 0 in the middle? G: 1,2,1,0 — interior G(2)=2>0,G(3)=1>0 => strictly.
+		{"1010", true, true, false},  // G: 1,0,1,0 — G(2)=0 interior => not strict
+		{"110100", true, true, true}, // G: 1,2,1,2,1,0
+		{"101010", true, true, false},
+		{"111000", true, true, true},
+		{"110001", true, false, false},
+	}
+	for _, c := range cases {
+		s := MustParse(c.s)
+		if got := s.IsBalanced(); got != c.balanced {
+			t.Errorf("IsBalanced(%q) = %v", c.s, got)
+		}
+		if got := s.IsCatalan(); got != c.catalan {
+			t.Errorf("IsCatalan(%q) = %v", c.s, got)
+		}
+	}
+	// Fix up the strictness expectations explicitly.
+	if !MustParse("1100").IsStrictlyCatalan() {
+		t.Error("1100 should be strictly Catalan (graph 1,2,1,0)")
+	}
+	if MustParse("1010").IsStrictlyCatalan() {
+		t.Error("1010 should not be strictly Catalan (graph hits 0 at interior)")
+	}
+	if !MustParse("110100").IsStrictlyCatalan() {
+		t.Error("110100 should be strictly Catalan")
+	}
+}
+
+func TestCatalanWrapInStrict(t *testing.T) {
+	// Paper remark: if z is Catalan, 1∘z∘0 is strictly Catalan.
+	for _, z := range []string{"", "10", "1100", "1010", "110010"} {
+		s := MustParse(z)
+		if !s.IsCatalan() {
+			t.Fatalf("precondition: %q not Catalan", z)
+		}
+		wrapped := Concat(MustParse("1"), s, MustParse("0"))
+		if !wrapped.IsStrictlyCatalan() {
+			t.Errorf("1∘%s∘0 should be strictly Catalan", z)
+		}
+	}
+}
+
+func TestMaxMinPoints(t *testing.T) {
+	// 1100: graph 0,1,2,1,0 over cyclic domain {0..3}: values 0,1,2,1.
+	s := MustParse("1100")
+	if pts := s.MaxPoints(); len(pts) != 1 || pts[0] != 2 {
+		t.Errorf("MaxPoints(1100) = %v, want [2]", pts)
+	}
+	if pts := s.MinPoints(); len(pts) != 1 || pts[0] != 0 {
+		t.Errorf("MinPoints(1100) = %v, want [0]", pts)
+	}
+	if !s.IsTMaximal(1) || !s.IsTMinimal(1) {
+		t.Error("1100 should be 1-maximal and 1-minimal")
+	}
+	// 101010: cyclic graph values 0,1,0,1,0,1 -> 3 maxima, 3 minima.
+	s = MustParse("101010")
+	if !s.IsTMaximal(3) || !s.IsTMinimal(3) {
+		t.Errorf("101010 max=%v min=%v", s.MaxPoints(), s.MinPoints())
+	}
+}
+
+func TestExtremeCountsRotationInvariantForBalanced(t *testing.T) {
+	// Paper: if z is t-maximal (t-minimal), so are all its shifts.
+	f := func(v uint16, width uint8) bool {
+		n := int(width%12) + 2
+		if n%2 == 1 {
+			n++
+		}
+		s := randomBalanced(rand.New(rand.NewSource(int64(v)*31+int64(width))), n)
+		maxCount := len(s.MaxPoints())
+		minCount := len(s.MinPoints())
+		for k := 1; k < s.Len(); k++ {
+			r := s.Rotate(k)
+			if len(r.MaxPoints()) != maxCount || len(r.MinPoints()) != minCount {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrictlyCatalanUniqueMinAtZero(t *testing.T) {
+	// Paper: a strictly Catalan sequence is 1-minimal with minimum at 0,
+	// and no nontrivial shift of it is strictly Catalan.
+	for _, z := range []string{"10", "1100", "110100", "111000", "11011000"} {
+		s := MustParse(z)
+		if !s.IsStrictlyCatalan() {
+			t.Fatalf("precondition: %q not strictly Catalan", z)
+		}
+		if pts := s.MinPoints(); len(pts) != 1 || pts[0] != 0 {
+			t.Errorf("%q: MinPoints = %v, want [0]", z, s.MinPoints())
+		}
+		for k := 1; k < s.Len(); k++ {
+			if s.Rotate(k).IsStrictlyCatalan() {
+				t.Errorf("%q: rotation %d should not be strictly Catalan", z, k)
+			}
+		}
+	}
+}
+
+func TestCatalanShift(t *testing.T) {
+	f := func(v uint32, width uint8) bool {
+		n := int(width%10)*2 + 2
+		s := randomBalanced(rand.New(rand.NewSource(int64(v))), n)
+		c := s.CatalanShift()
+		return s.Rotate(c).IsCatalan()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCatalanShiftPanicsOnUnbalanced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustParse("1").CatalanShift()
+}
+
+func TestInsertAndSlice(t *testing.T) {
+	s := MustParse("0011")
+	if got := s.Insert(2, MustParse("1010")).String(); got != "00101011" {
+		t.Errorf("Insert = %q", got)
+	}
+	if got := s.Insert(0, MustParse("1")).String(); got != "10011" {
+		t.Errorf("Insert at 0 = %q", got)
+	}
+	if got := s.Insert(4, MustParse("1")).String(); got != "00111" {
+		t.Errorf("Insert at end = %q", got)
+	}
+	if got := s.Slice(1, 3).String(); got != "01" {
+		t.Errorf("Slice = %q", got)
+	}
+	if got := s.Slice(2, 2).Len(); got != 0 {
+		t.Errorf("empty Slice length = %d", got)
+	}
+}
+
+func TestRepeatOnesZeros(t *testing.T) {
+	if got := MustParse("01").Repeat(3).String(); got != "010101" {
+		t.Errorf("Repeat = %q", got)
+	}
+	if got := Ones(4).String(); got != "1111" {
+		t.Errorf("Ones = %q", got)
+	}
+	if got := Zeros(3).String(); got != "000" {
+		t.Errorf("Zeros = %q", got)
+	}
+}
+
+func TestIsRotationOf(t *testing.T) {
+	a := MustParse("0100110")
+	if !a.IsRotationOf(a.Rotate(3)) {
+		t.Error("rotation not detected")
+	}
+	if a.IsRotationOf(MustParse("0100111")) {
+		t.Error("false rotation detected")
+	}
+	if !MustParse("").IsRotationOf(MustParse("")) {
+		t.Error("empty strings are rotations of each other")
+	}
+}
+
+func TestDiamondConditions(t *testing.T) {
+	r := MustParse("0110")
+	s := MustParse("1001")
+	if !DiamondOne(r, s) {
+		t.Error("0110 ♦₁ 1001 should hold")
+	}
+	if DiamondZero(r, s) {
+		t.Error("0110 ♦₀ 1001 should fail (complements)")
+	}
+	if !DiamondZero(r, r) {
+		t.Error("r ♦₀ r should hold for mixed strings")
+	}
+	if DiamondOne(r, r) {
+		t.Error("r ♦₁ r should fail")
+	}
+}
+
+func TestSymmetricPatternFromSection32(t *testing.T) {
+	// Paper §3.2: 0100110 ◇₀ 010011 — any pair of rotations of 010011
+	// realizes both (0,0) and (1,1).
+	p := MustParse("010011")
+	if !CircledZero(p, p) {
+		t.Error("010011 ◇₀ 010011 should hold (the §3.2 pattern)")
+	}
+}
+
+func TestBalancedDistinctImpliesDiamondOne(t *testing.T) {
+	// Paper §3: distinct balanced strings of equal length satisfy ♦₁.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 * (1 + rng.Intn(8))
+		a := randomBalanced(rng, n)
+		b := randomBalanced(rng, n)
+		if a.Equal(b) {
+			continue
+		}
+		if !DiamondOne(a, b) {
+			t.Fatalf("distinct balanced %s, %s should satisfy ♦₁", a, b)
+		}
+	}
+}
+
+func TestBalancedNonComplementImpliesDiamondZero(t *testing.T) {
+	// Paper §3: balanced strings that are not complements satisfy ♦₀.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 * (1 + rng.Intn(8))
+		a := randomBalanced(rng, n)
+		b := randomBalanced(rng, n)
+		if a.Equal(b.Complement()) {
+			continue
+		}
+		if !DiamondZero(a, b) {
+			t.Fatalf("balanced non-complement %s, %s should satisfy ♦₀", a, b)
+		}
+	}
+}
+
+func TestWeightAcrossWords(t *testing.T) {
+	s := New(200)
+	for i := 0; i < 200; i += 3 {
+		s.SetBit(i, 1)
+	}
+	if got, want := s.Weight(), 67; got != want {
+		t.Errorf("Weight = %d, want %d", got, want)
+	}
+}
+
+func TestUintErrorsOnLongStrings(t *testing.T) {
+	if _, err := New(65).Uint(); err == nil {
+		t.Error("expected error for 65-bit Uint")
+	}
+}
+
+func TestPanicsOnBadIndex(t *testing.T) {
+	s := New(4)
+	for name, f := range map[string]func(){
+		"Bit":    func() { s.Bit(4) },
+		"SetBit": func() { s.SetBit(-1, 1) },
+		"Insert": func() { s.Insert(5, New(1)) },
+		"Slice":  func() { s.Slice(2, 1) },
+		"Repeat": func() { s.Repeat(-1) },
+		"New":    func() { New(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// randomBalanced returns a uniformly random balanced string of even
+// length n (a random permutation of n/2 ones and n/2 zeros).
+func randomBalanced(rng *rand.Rand, n int) String {
+	if n%2 != 0 {
+		panic("randomBalanced: odd length")
+	}
+	bits := make([]byte, n)
+	for i := 0; i < n/2; i++ {
+		bits[i] = 1
+	}
+	rng.Shuffle(n, func(i, j int) { bits[i], bits[j] = bits[j], bits[i] })
+	s := New(n)
+	for i, b := range bits {
+		s.SetBit(i, b)
+	}
+	return s
+}

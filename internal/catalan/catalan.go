@@ -1,0 +1,152 @@
+// Package catalan implements the string transformations behind Theorem 1
+// of Chen et al. (ICDCS 2014): the Catalanization U, the 2-maximality
+// transform M, and the composite asynchronous encoding
+//
+//	R(x) = M(1 ∘ U(K(x)) ∘ 0),
+//
+// where K is the balanced encoding from package knuth. R is injective and
+// every image is balanced, strictly Catalan and 2-maximal; those three
+// properties make the induced cyclic pair schedules rendezvous under
+// every pair of rotations (paper §3, conditions ◇₀ and ◇₁).
+//
+// All output lengths depend only on input lengths, which the epoch
+// construction of Theorem 3 requires (every agent's epoch must have the
+// same duration).
+package catalan
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rendezvous/internal/bitstring"
+	"rendezvous/internal/knuth"
+)
+
+// shiftWidth returns the fixed bit width used to record the Catalan
+// rotation of a balanced string of length n (the rotation lies in
+// [0, n), encoded in max(1, bitlen(n−1)) bits).
+func shiftWidth(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// CatalanizeLen returns |Catalanize(z)| for balanced inputs of length n.
+func CatalanizeLen(n int) int {
+	return n + 2*knuth.EncodedLen(shiftWidth(n))
+}
+
+// Catalanize implements the paper's U: given a balanced string z it
+// returns the Catalan string
+//
+//	U(z) = (S^c z) ∘ 1^{λ/2} ∘ K(c₂) ∘ 0^{λ/2},
+//
+// where c is a rotation making S^c z Catalan and λ = |K(c₂)|. The shift
+// is encoded inside the output, so U is injective; the output is balanced
+// and Catalan. Catalanize panics if z is not balanced (programmer error:
+// it is only ever applied to images of K).
+func Catalanize(z bitstring.String) bitstring.String {
+	if !z.IsBalanced() {
+		panic(fmt.Sprintf("catalan: Catalanize requires balanced input, got %v", z))
+	}
+	c := z.CatalanShift()
+	cBits := bitstring.MustFromUint(uint64(c), shiftWidth(z.Len()))
+	kc := knuth.Encode(cBits)
+	half := kc.Len() / 2
+	return bitstring.Concat(z.Rotate(c), bitstring.Ones(half), kc, bitstring.Zeros(half))
+}
+
+// Decatalanize inverts Catalanize given the original input length n.
+func Decatalanize(u bitstring.String, n int) (bitstring.String, error) {
+	w := shiftWidth(n)
+	lambda := knuth.EncodedLen(w)
+	if u.Len() != n+2*lambda {
+		return bitstring.String{}, fmt.Errorf("catalan: encoded length %d, want %d for input length %d", u.Len(), n+2*lambda, n)
+	}
+	half := lambda / 2
+	for i := 0; i < half; i++ {
+		if u.Bit(n+i) != 1 {
+			return bitstring.String{}, fmt.Errorf("catalan: missing 1-run at offset %d", n+i)
+		}
+		if u.Bit(n+half+lambda+i) != 0 {
+			return bitstring.String{}, fmt.Errorf("catalan: missing 0-run at offset %d", n+half+lambda+i)
+		}
+	}
+	cBits, err := knuth.Decode(u.Slice(n+half, n+half+lambda), w)
+	if err != nil {
+		return bitstring.String{}, fmt.Errorf("catalan: shift suffix: %w", err)
+	}
+	cU, err := cBits.Uint()
+	if err != nil {
+		return bitstring.String{}, err
+	}
+	if n > 0 && int(cU) >= n {
+		return bitstring.String{}, fmt.Errorf("catalan: rotation %d out of range [0,%d)", cU, n)
+	}
+	return u.Slice(0, n).Rotate(-int(cU)), nil
+}
+
+// twoMaxBlock is the string inserted at a maximal point to make the walk
+// 2-maximal (paper Figure 3).
+var twoMaxBlock = bitstring.MustParse("1010")
+
+// MakeTwoMaximal implements the paper's M: it inserts 1010 at the first
+// maximal point of the walk, producing a 2-maximal string. The transform
+// preserves balance and strict Catalan-ness and is invertible.
+func MakeTwoMaximal(z bitstring.String) bitstring.String {
+	pts := z.MaxPoints()
+	if len(pts) == 0 {
+		// Only the empty string has no max points; 1010 alone is its image.
+		return twoMaxBlock
+	}
+	return z.Insert(pts[0], twoMaxBlock)
+}
+
+// UndoTwoMaximal inverts MakeTwoMaximal. It reports an error if w is not
+// in the image of the transform.
+func UndoTwoMaximal(w bitstring.String) (bitstring.String, error) {
+	pts := w.MaxPoints()
+	if len(pts) != 2 || pts[1] != pts[0]+2 || pts[0] == 0 {
+		return bitstring.String{}, fmt.Errorf("catalan: %v is not 2-maximal with adjacent peaks", w)
+	}
+	at := pts[0] - 1
+	if !w.Slice(at, at+4).Equal(twoMaxBlock) {
+		return bitstring.String{}, fmt.Errorf("catalan: no 1010 block at %d in %v", at, w)
+	}
+	return bitstring.Concat(w.Slice(0, at), w.Slice(at+4, w.Len())), nil
+}
+
+// EncodeLen returns |Encode(x)| for inputs of length n.
+func EncodeLen(n int) int {
+	kLen := knuth.EncodedLen(n)
+	return CatalanizeLen(kLen) + 2 + twoMaxBlock.Len()
+}
+
+// Encode is the paper's R: an injective map whose images are balanced,
+// strictly Catalan and 2-maximal, with |R(x)| = |x| + O(log |x|).
+func Encode(x bitstring.String) bitstring.String {
+	u := Catalanize(knuth.Encode(x))
+	s := bitstring.Concat(bitstring.Ones(1), u, bitstring.Zeros(1))
+	return MakeTwoMaximal(s)
+}
+
+// Decode inverts Encode given the original input length n.
+func Decode(r bitstring.String, n int) (bitstring.String, error) {
+	if r.Len() != EncodeLen(n) {
+		return bitstring.String{}, fmt.Errorf("catalan: encoded length %d, want %d for input length %d", r.Len(), EncodeLen(n), n)
+	}
+	s, err := UndoTwoMaximal(r)
+	if err != nil {
+		return bitstring.String{}, err
+	}
+	if s.Len() < 2 || s.Bit(0) != 1 || s.Bit(s.Len()-1) != 0 {
+		return bitstring.String{}, fmt.Errorf("catalan: missing strictness frame in %v", s)
+	}
+	u := s.Slice(1, s.Len()-1)
+	z, err := Decatalanize(u, knuth.EncodedLen(n))
+	if err != nil {
+		return bitstring.String{}, err
+	}
+	return knuth.Decode(z, n)
+}

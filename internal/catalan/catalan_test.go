@@ -1,0 +1,252 @@
+package catalan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rendezvous/internal/bitstring"
+	"rendezvous/internal/knuth"
+)
+
+func TestCatalanizeProducesCatalan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		z := randomBalanced(rng, 2*(1+rng.Intn(10)))
+		u := Catalanize(z)
+		if !u.IsCatalan() {
+			t.Fatalf("Catalanize(%v) = %v not Catalan", z, u)
+		}
+		if u.Len() != CatalanizeLen(z.Len()) {
+			t.Fatalf("CatalanizeLen mismatch: got %d want %d", u.Len(), CatalanizeLen(z.Len()))
+		}
+	}
+}
+
+func TestCatalanizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		z := randomBalanced(rng, 2*(1+rng.Intn(10)))
+		back, err := Decatalanize(Catalanize(z), z.Len())
+		if err != nil {
+			t.Fatalf("Decatalanize: %v", err)
+		}
+		if !back.Equal(z) {
+			t.Fatalf("round trip failed: %v -> %v", z, back)
+		}
+	}
+}
+
+func TestCatalanizePanicsOnUnbalanced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Catalanize(bitstring.MustParse("10100"))
+}
+
+func TestDecatalanizeRejectsMalformed(t *testing.T) {
+	z := bitstring.MustParse("1100")
+	u := Catalanize(z)
+	if _, err := Decatalanize(u, 6); err == nil {
+		t.Error("wrong length: expected error")
+	}
+	bad := u.Clone()
+	bad.SetBit(z.Len(), 0) // break the 1-run
+	if _, err := Decatalanize(bad, z.Len()); err == nil {
+		t.Error("broken 1-run: expected error")
+	}
+}
+
+func TestMakeTwoMaximal(t *testing.T) {
+	for _, c := range []string{"10", "1100", "110100", "111000", "1101010010"} {
+		z := bitstring.MustParse(c)
+		w := MakeTwoMaximal(z)
+		if !w.IsTMaximal(2) {
+			t.Errorf("MakeTwoMaximal(%s) = %s: not 2-maximal", c, w)
+		}
+		back, err := UndoTwoMaximal(w)
+		if err != nil {
+			t.Fatalf("UndoTwoMaximal(%s): %v", w, err)
+		}
+		if !back.Equal(z) {
+			t.Errorf("round trip failed: %s -> %s -> %s", c, w, back)
+		}
+	}
+}
+
+func TestMakeTwoMaximalEmpty(t *testing.T) {
+	w := MakeTwoMaximal(bitstring.New(0))
+	back, err := UndoTwoMaximal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Errorf("expected empty string, got %v", back)
+	}
+}
+
+func TestUndoTwoMaximalRejects(t *testing.T) {
+	// 10 and 1100 are 1-maximal, 101010 is 3-maximal, and 0011 has its
+	// single maximum at position 0; none is in the image of M.
+	for _, c := range []string{"10", "1100", "101010", "0011"} {
+		if _, err := UndoTwoMaximal(bitstring.MustParse(c)); err == nil {
+			t.Errorf("UndoTwoMaximal(%s): expected error", c)
+		}
+	}
+}
+
+// TestEncodeInvariants verifies the three structural properties Theorem 1
+// needs from R, exhaustively over all inputs of length ≤ 8.
+func TestEncodeInvariants(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		wantLen := EncodeLen(n)
+		for v := uint64(0); v < 1<<uint(n); v++ {
+			x := bitstring.MustFromUint(v, n)
+			r := Encode(x)
+			if r.Len() != wantLen {
+				t.Fatalf("len(R(%v)) = %d, want %d", x, r.Len(), wantLen)
+			}
+			if !r.IsBalanced() {
+				t.Fatalf("R(%v) = %v not balanced", x, r)
+			}
+			if !r.IsStrictlyCatalan() {
+				t.Fatalf("R(%v) = %v not strictly Catalan", x, r)
+			}
+			if !r.IsTMaximal(2) {
+				t.Fatalf("R(%v) = %v not 2-maximal", x, r)
+			}
+		}
+	}
+}
+
+func TestEncodeRoundTripAndInjectivity(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		seen := make(map[string]uint64)
+		for v := uint64(0); v < 1<<uint(n); v++ {
+			x := bitstring.MustFromUint(v, n)
+			r := Encode(x)
+			if prev, dup := seen[r.String()]; dup {
+				t.Fatalf("n=%d: R(%d) = R(%d)", n, v, prev)
+			}
+			seen[r.String()] = v
+			back, err := Decode(r, n)
+			if err != nil {
+				t.Fatalf("Decode(R(%v)): %v", x, err)
+			}
+			if !back.Equal(x) {
+				t.Fatalf("round trip failed for %v", x)
+			}
+		}
+	}
+}
+
+// TestCircledConditions verifies the paper's condition (6): for all x, y
+// of common length, R(x) ◇₀ R(y) always holds, and R(x) ◇₁ R(y) holds
+// whenever x ≠ y. This is exactly what makes the cyclic pair schedules
+// correct under arbitrary wake offsets.
+func TestCircledConditions(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 6} {
+		images := make([]bitstring.String, 1<<uint(n))
+		for v := range images {
+			images[v] = Encode(bitstring.MustFromUint(uint64(v), n))
+		}
+		for i, ri := range images {
+			for j, rj := range images {
+				if !bitstring.CircledZero(ri, rj) {
+					t.Fatalf("n=%d: R(%d) ◇₀ R(%d) fails", n, i, j)
+				}
+				if i != j && !bitstring.CircledOne(ri, rj) {
+					t.Fatalf("n=%d: R(%d) ◇₁ R(%d) fails", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestNoRotationCollisions(t *testing.T) {
+	// Distinct inputs must not map to rotations of each other: this is
+	// what strict Catalan-ness plus injectivity buys.
+	n := 6
+	var images []bitstring.String
+	for v := uint64(0); v < 1<<uint(n); v++ {
+		images = append(images, Encode(bitstring.MustFromUint(v, n)))
+	}
+	for i := range images {
+		for j := i + 1; j < len(images); j++ {
+			if images[i].IsRotationOf(images[j]) {
+				t.Fatalf("R(%d) is a rotation of R(%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestEncodeLenGrowth(t *testing.T) {
+	// |R(x)| = |x| + O(log |x|): sanity-check the paper's
+	// |R(z)| ≤ |z| + 4·log♯|z| + 16 shape with our constants
+	// (|R| ≤ |z| + c·log(|z|) + c′ for moderate c, c′).
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
+		got := EncodeLen(n)
+		bound := n + 8*bitlen(n) + 40
+		if got > bound {
+			t.Errorf("EncodeLen(%d) = %d exceeds %d", n, got, bound)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongLength(t *testing.T) {
+	if _, err := Decode(bitstring.Zeros(7), 4); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestEncodeQuickProperty(t *testing.T) {
+	f := func(v uint16) bool {
+		x := bitstring.MustFromUint(uint64(v), 16)
+		r := Encode(x)
+		back, err := Decode(r, 16)
+		return err == nil && back.Equal(x) &&
+			r.IsBalanced() && r.IsStrictlyCatalan() && r.IsTMaximal(2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKnuthInterop(t *testing.T) {
+	// Catalanize is always applied to Knuth images inside Encode; check
+	// the composition explicitly for a few sizes.
+	for n := 0; n <= 10; n++ {
+		k := knuth.Encode(bitstring.Zeros(n))
+		if !k.IsBalanced() {
+			t.Fatalf("knuth.Encode(0^%d) not balanced", n)
+		}
+		u := Catalanize(k)
+		if !u.IsCatalan() {
+			t.Fatalf("Catalanize(knuth.Encode(0^%d)) not Catalan", n)
+		}
+	}
+}
+
+func bitlen(n int) int {
+	l := 0
+	for n > 0 {
+		l++
+		n >>= 1
+	}
+	return l
+}
+
+func randomBalanced(rng *rand.Rand, n int) bitstring.String {
+	bits := make([]byte, n)
+	for i := 0; i < n/2; i++ {
+		bits[i] = 1
+	}
+	rng.Shuffle(n, func(i, j int) { bits[i], bits[j] = bits[j], bits[i] })
+	s := bitstring.New(n)
+	for i, b := range bits {
+		s.SetBit(i, b)
+	}
+	return s
+}

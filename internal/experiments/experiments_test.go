@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps the full suite runnable inside the unit-test budget.
+var quickCfg = Config{Quick: true, Seed: 1}
+
+func TestAllReportsRender(t *testing.T) {
+	for _, rep := range All(quickCfg) {
+		if rep.ID == "" || rep.Title == "" {
+			t.Fatalf("report missing identity: %+v", rep)
+		}
+		out := rep.String()
+		if !strings.Contains(out, rep.ID) {
+			t.Errorf("%s: rendering lacks ID", rep.ID)
+		}
+		if len(rep.Rows) == 0 {
+			t.Errorf("%s: no data rows", rep.ID)
+		}
+		for _, row := range rep.Rows {
+			if len(row) != len(rep.Header) {
+				t.Errorf("%s: row width %d != header width %d", rep.ID, len(row), len(rep.Header))
+			}
+		}
+	}
+}
+
+func cellInt(t *testing.T, rep *Report, row, col int) int {
+	t.Helper()
+	v, err := strconv.Atoi(rep.Rows[row][col])
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not an int", rep.ID, row, col, rep.Rows[row][col])
+	}
+	return v
+}
+
+// TestTable1AsymmetricShape checks the Table-1 guarantee shapes: our
+// bound is flat in n at fixed k while the baselines' guarantees blow up
+// polynomially, and the measured maxima respect our analytic bound.
+func TestTable1AsymmetricShape(t *testing.T) {
+	rep := Table1Asymmetric(quickCfg)
+	first, last := 0, len(rep.Rows)-1
+	oursBoundFirst := cellInt(t, rep, first, 1)
+	oursBoundLast := cellInt(t, rep, last, 1)
+	if oursBoundLast > 2*oursBoundFirst {
+		t.Errorf("ours' guarantee grew %d → %d across the n sweep; expected near-flat",
+			oursBoundFirst, oursBoundLast)
+	}
+	for r := range rep.Rows {
+		bound := cellInt(t, rep, r, 1)
+		measured := cellInt(t, rep, r, 2)
+		if measured > bound {
+			t.Errorf("row %d: measured ours TTR %d exceeds analytic bound %d", r, measured, bound)
+		}
+	}
+	// Jump-Stay's n³ guarantee overtakes ours within even the quick
+	// sweep (n=32: 3·37²·36 ≈ 148k slots).
+	if ours, js := cellInt(t, rep, last, 1), cellInt(t, rep, last, 6); ours >= js {
+		t.Errorf("ours' guarantee (%d) should beat Jump-Stay's (%d) at the largest n", ours, js)
+	}
+	// Baseline guarantees must grow superlinearly across the sweep.
+	if c0, c1 := cellInt(t, rep, first, 3), cellInt(t, rep, last, 3); c1 < 4*c0 {
+		t.Errorf("CRSEQ guarantee grew only %d → %d; expected ≈ n²", c0, c1)
+	}
+}
+
+// TestTable1SymmetricShape: the wrapped construction meets in ≤ 6 slots
+// at every n while baselines grow.
+func TestTable1SymmetricShape(t *testing.T) {
+	rep := Table1Symmetric(quickCfg)
+	for r := range rep.Rows {
+		if got := cellInt(t, rep, r, 1); got > 6 {
+			t.Errorf("row %d: ours symmetric TTR %d > 6", r, got)
+		}
+	}
+	last := len(rep.Rows) - 1
+	if cellInt(t, rep, last, 2) <= 6 && cellInt(t, rep, last, 3) <= 6 {
+		t.Error("baselines implausibly flat — measurement broken?")
+	}
+}
+
+// TestTheorem1Shape: the measured worst TTR never exceeds the word
+// length (the proof's guarantee), and the word length stays ≤ 64 even
+// at n = 2^20.
+func TestTheorem1Shape(t *testing.T) {
+	rep := Theorem1(quickCfg)
+	for r := range rep.Rows {
+		bound := cellInt(t, rep, r, 1)
+		worst := cellInt(t, rep, r, 2)
+		if worst > bound {
+			t.Errorf("row %d: worst TTR %d exceeds |R| = %d", r, worst, bound)
+		}
+		if bound > 64 {
+			t.Errorf("row %d: |R| = %d implausibly large", r, bound)
+		}
+	}
+}
+
+// TestTheorem3WithinBound: measured TTR respects the analytic bound in
+// the k sweep.
+func TestTheorem3WithinBound(t *testing.T) {
+	rep := Theorem3(quickCfg)
+	for r := range rep.Rows {
+		if rep.Rows[r][0] != "k=|A|=|B|" {
+			continue
+		}
+		worst := cellInt(t, rep, r, 2)
+		bound := cellInt(t, rep, r, 3)
+		if bound > 0 && worst > bound {
+			t.Errorf("row %d: TTR %d exceeds bound %d", r, worst, bound)
+		}
+	}
+}
+
+func TestSymmetricWrapperReport(t *testing.T) {
+	rep := SymmetricWrapper(quickCfg)
+	for r := range rep.Rows {
+		if got := cellInt(t, rep, r, 1); got > 6 {
+			t.Errorf("row %d: symmetric TTR %d > 6", r, got)
+		}
+	}
+}
+
+func TestLowerBoundRamseyReport(t *testing.T) {
+	rep := LowerBoundRamsey(quickCfg)
+	for r := range rep.Rows {
+		if rep.Rows[r][3] != "false" {
+			t.Errorf("row %d: construction contains a monochromatic path", r)
+		}
+	}
+}
+
+func TestOneRoundReportRatios(t *testing.T) {
+	rep := OneRound(quickCfg)
+	for r := range rep.Rows {
+		ratio, err := strconv.ParseFloat(rep.Rows[r][5], 64)
+		if err != nil {
+			t.Fatalf("row %d: ratio %q", r, rep.Rows[r][5])
+		}
+		if ratio < 0.439 {
+			t.Errorf("row %d (%s): SDP ratio %.3f below guarantee", r, rep.Rows[r][0], ratio)
+		}
+	}
+}
+
+// TestMultiAgentCompletion: the flagship must complete network
+// discovery within the horizon and beat Jump-Stay's completion time.
+func TestMultiAgentCompletion(t *testing.T) {
+	rep := MultiAgent(quickCfg)
+	for r := range rep.Rows {
+		ours := cellInt(t, rep, r, 1)
+		if ours >= 1<<19 {
+			t.Errorf("row %d: flagship did not complete discovery", r)
+		}
+	}
+}

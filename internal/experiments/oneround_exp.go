@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rendezvous/internal/oneround"
+)
+
+// OneRound regenerates the appendix comparison: exact optimum (brute
+// force), best-of-64 random orientation (the 0.25 baseline), and the
+// SDP + hyperplane-rounding pipeline (the 0.439 approximation) on a zoo
+// of small agent graphs.
+func OneRound(cfg Config) *Report {
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	rep := &Report{
+		ID:     "ONERD",
+		Title:  "Appendix: one-round graphical rendezvous — in-pairs achieved",
+		Header: []string{"graph", "edges", "OPT", "random(best64)", "SDP", "SDP/OPT"},
+	}
+	type namedGraph struct {
+		name string
+		g    *oneround.Graph
+	}
+	var graphs []namedGraph
+	if g, err := oneround.Star(6); err == nil {
+		graphs = append(graphs, namedGraph{"star-6", g})
+	}
+	if g, err := oneround.Cycle(8); err == nil {
+		graphs = append(graphs, namedGraph{"cycle-8", g})
+	}
+	if g, err := oneround.NewGraph(2, [][2]int{{1, 2}, {1, 2}, {1, 2}, {1, 2}}); err == nil {
+		graphs = append(graphs, namedGraph{"parallel-4", g})
+	}
+	erCount := 3
+	if cfg.Quick {
+		erCount = 1
+	}
+	for i := 0; i < erCount; i++ {
+		g, err := oneround.ErdosRenyi(rng, 7, 0.45)
+		if err != nil || g.NumEdges() > 16 {
+			continue
+		}
+		graphs = append(graphs, namedGraph{fmt.Sprintf("er-7-%d", i), g})
+	}
+	worstRatio := 1.0
+	for _, ng := range graphs {
+		opt, _, err := ng.g.OptimalInPairs()
+		if err != nil {
+			continue
+		}
+		_, rnd := oneround.BestRandom(ng.g, rng, 64)
+		res, err := oneround.SolveOneRound(ng.g, oneround.SDPOptions{Seed: cfg.Seed})
+		if err != nil {
+			continue
+		}
+		ratio := 1.0
+		if opt > 0 {
+			ratio = float64(res.InPairs) / float64(opt)
+		}
+		if ratio < worstRatio {
+			worstRatio = ratio
+		}
+		rep.Rows = append(rep.Rows, []string{
+			ng.name, itoa(ng.g.NumEdges()), itoa(opt), itoa(rnd), itoa(res.InPairs),
+			fmt.Sprintf("%.3f", ratio),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("worst SDP/OPT ratio observed: %.3f (paper guarantees ≥ 0.439; rounding typically lands ≈ 1).", worstRatio),
+		"random orientation guarantees 0.25 in expectation; best-of-64 reported.")
+	return rep
+}

@@ -1,0 +1,100 @@
+// Package experiments regenerates every evaluation artifact of Chen et
+// al. (ICDCS 2014) on the simulator: the two columns of Table 1, the
+// per-theorem scaling experiments, the §5 beacon comparison, the §4
+// lower-bound certificates, and the appendix one-round approximation.
+// Each experiment is a pure function from a Config to a Report;
+// cmd/rvbench prints them and EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config tunes experiment scale. Quick shrinks sweeps to CI size.
+type Config struct {
+	Quick bool
+	Seed  int64
+}
+
+// Report is a rendered experiment: a titled table plus free-form notes
+// (fit exponents, verdicts, ASCII charts).
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// All runs every experiment in DESIGN.md's index order.
+func All(cfg Config) []*Report {
+	return []*Report{
+		Table1Asymmetric(cfg),
+		Table1Symmetric(cfg),
+		Figures(cfg),
+		Theorem1(cfg),
+		Theorem3(cfg),
+		SymmetricWrapper(cfg),
+		Beacon(cfg),
+		LowerBoundRamsey(cfg),
+		LowerBoundAsync(cfg),
+		OneRound(cfg),
+		MultiAgent(cfg),
+	}
+}
+
+func ftoa(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rendezvous/internal/asciiplot"
+	"rendezvous/internal/baselines"
+	"rendezvous/internal/schedule"
+	"rendezvous/internal/simulator"
+	"rendezvous/internal/stats"
+)
+
+// Table1Asymmetric regenerates the asymmetric column of Table 1.
+//
+// Table 1 compares worst-case GUARANTEES, so the primary columns are the
+// analytic bounds: ours O(|A||B|·log log n) (flat in n at fixed k),
+// CRSEQ P(3P−1) = Θ(n²), Jump-Stay 3P²(P−1) = Θ(n³). Measured columns
+// give the empirical worst case over sampled wake offsets for pairs with
+// |A| = |B| = 4 sharing one channel — they must respect the bounds, and
+// they surface an honest reproduction finding: with deterministic index
+// remapping CRSEQ can FAIL outright (DESIGN.md), while with small
+// channel subsets the oblivious baselines behave quasi-randomly and are
+// often fast on average despite their weak guarantees. The crossover
+// note reports where our guarantee overtakes each baseline's.
+func Table1Asymmetric(cfg Config) *Report {
+	ns := []int{8, 16, 32, 64, 128}
+	pairsPerN, offsetsPerPair := 6, 24
+	if cfg.Quick {
+		ns = []int{8, 16, 32}
+		pairsPerN, offsetsPerPair = 3, 8
+	}
+	const k = 4
+	rep := &Report{
+		ID:    "T1-asym",
+		Title: "Table 1, asymmetric: guarantees and measured worst TTR (|A|=|B|=4, |A∩B|=1)",
+		Header: []string{"n", "ours bound", "ours max", "crseq bound", "crseq max", "crseq fails",
+			"js bound", "js max", "random mean"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var xs, oursBound, crseqBound, jsBound []float64
+	for _, n := range ns {
+		kk := min(k, n/2)
+		if kk < 1 {
+			kk = 1
+		}
+		var oursB, oursMax, crseqB, crseqMax, crseqFails, jsB, jsMax int
+		var randomSum float64
+		var randomN int
+		for p := 0; p < pairsPerN; p++ {
+			w := simulator.RandomPairWithIntersection(rng, n, kk, kk, 1)
+
+			ga, err1 := schedule.NewGeneral(n, w.A)
+			gb, err2 := schedule.NewGeneral(n, w.B)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			oursB = ga.RendezvousBound(kk)
+			st := simulator.SweepOffsets(ga, gb,
+				simulator.SampledOffsets(rng, ga.Period(), offsetsPerPair), oursB+1)
+			oursMax = maxInt(oursMax, st.Max)
+
+			ca, err1 := baselines.NewCRSEQ(n, w.A)
+			cb, err2 := baselines.NewCRSEQ(n, w.B)
+			if err1 == nil && err2 == nil {
+				crseqB = ca.Period()
+				st = simulator.SweepOffsets(ca, cb,
+					simulator.SampledOffsets(rng, ca.Period(), offsetsPerPair), 4*crseqB)
+				crseqMax = maxInt(crseqMax, st.Max)
+				crseqFails += st.Failures
+			}
+
+			ja, err1 := baselines.NewJumpStay(n, w.A)
+			jb, err2 := baselines.NewJumpStay(n, w.B)
+			if err1 == nil && err2 == nil {
+				jsB = ja.Period()
+				st = simulator.SweepOffsets(ja, jb,
+					simulator.SampledOffsets(rng, ja.Period(), offsetsPerPair), jsB)
+				jsMax = maxInt(jsMax, st.Max)
+			}
+
+			ra, err1 := baselines.NewRandom(n, w.A, uint64(cfg.Seed)+uint64(p)*2+1, 1<<22)
+			rb, err2 := baselines.NewRandom(n, w.B, uint64(cfg.Seed)+uint64(p)*2+2, 1<<22)
+			if err1 == nil && err2 == nil {
+				st = simulator.SweepOffsets(ra, rb,
+					simulator.SampledOffsets(rng, 1<<16, offsetsPerPair), 1<<18)
+				randomSum += st.Mean()
+				randomN++
+			}
+		}
+		randomMean := 0.0
+		if randomN > 0 {
+			randomMean = randomSum / float64(randomN)
+		}
+		rep.Rows = append(rep.Rows, []string{
+			itoa(n), itoa(oursB), itoa(oursMax), itoa(crseqB), itoa(crseqMax),
+			itoa(crseqFails), itoa(jsB), itoa(jsMax), ftoa(randomMean),
+		})
+		xs = append(xs, float64(n))
+		oursBound = append(oursBound, float64(oursB))
+		crseqBound = append(crseqBound, float64(crseqB))
+		jsBound = append(jsBound, float64(jsB))
+	}
+	for name, ys := range map[string][]float64{
+		"ours": oursBound, "crseq": crseqBound, "jumpstay": jsBound,
+	} {
+		if e, _, err := stats.FitPowerLaw(xs, ys); err == nil {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("guarantee fit: %-8s bound ~ n^%.2f", name, e))
+		}
+	}
+	rep.Notes = append(rep.Notes, asciiplot.Lines("guarantee bounds vs n", 56, 12, []asciiplot.Series{
+		{Label: "ours", X: xs, Y: oursBound},
+		{Label: "crseq", X: xs, Y: crseqBound},
+		{Label: "jumpstay", X: xs, Y: jsBound},
+	}))
+	rep.Notes = append(rep.Notes, crossoverNote("crseq", xs, oursBound, crseqBound))
+	rep.Notes = append(rep.Notes, crossoverNote("jumpstay", xs, oursBound, jsBound))
+	rep.Notes = append(rep.Notes,
+		"paper: ours O(|A||B| loglog n) — flat in n at fixed k; CRSEQ Θ(n²); Jump-Stay Θ(n³).",
+		"crseq fails counts offsets with NO rendezvous under deterministic index remap (see DESIGN.md).",
+		"measured maxima are over sampled offsets; with small subsets the remapped baselines behave",
+		"quasi-randomly, so their measured averages can be small even though their guarantees are weak.")
+	return rep
+}
+
+// crossoverNote reports the first n at which our guarantee beats the
+// baseline's.
+func crossoverNote(name string, xs, ours, base []float64) string {
+	for i := range xs {
+		if ours[i] < base[i] {
+			return fmt.Sprintf("crossover: ours' guarantee beats %s's from n = %.0f onward", name, xs[i])
+		}
+	}
+	return fmt.Sprintf("crossover: ours' guarantee does not overtake %s's within this sweep (grows with n²/n³; extend -exp t1-asym sweep)", name)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table1Symmetric regenerates the symmetric column: both agents hold the
+// identical full channel set [n]. Here measurements are undistorted by
+// remapping, so measured maxima are the primary data. Expected shapes:
+// ours O(1) (≤ 6 slots), Jump-Stay O(n), CRSEQ O(n²).
+func Table1Symmetric(cfg Config) *Report {
+	ns := []int{8, 16, 32, 64, 128, 256}
+	offsets := 40
+	if cfg.Quick {
+		ns = []int{8, 16, 32}
+		offsets = 12
+	}
+	order := []string{"ours", "crseq", "jumpstay"}
+	rep := &Report{
+		ID:     "T1-sym",
+		Title:  "Table 1, symmetric column: max TTR, identical full sets",
+		Header: append([]string{"n"}, order...),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	curves := map[string][]float64{}
+	for _, n := range ns {
+		full := simulator.FullSet(n)
+		build := map[string]func() (schedule.Schedule, error){
+			"ours":     func() (schedule.Schedule, error) { return schedule.NewAsync(n, full) },
+			"crseq":    func() (schedule.Schedule, error) { return baselines.NewCRSEQ(n, full) },
+			"jumpstay": func() (schedule.Schedule, error) { return baselines.NewJumpStay(n, full) },
+		}
+		row := []string{itoa(n)}
+		for _, name := range order {
+			s, err := build[name]()
+			if err != nil {
+				row = append(row, "err")
+				continue
+			}
+			horizon := 4 * s.Period()
+			offs := simulator.SampledOffsets(rng, s.Period(), offsets)
+			st := simulator.SweepOffsets(s, s, offs, horizon)
+			row = append(row, itoa(st.Max))
+			curves[name] = append(curves[name], float64(st.Max+1))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	xs := make([]float64, len(ns))
+	for i, n := range ns {
+		xs[i] = float64(n)
+	}
+	var series []asciiplot.Series
+	for _, name := range order {
+		if len(curves[name]) == len(xs) {
+			if e, _, err := stats.FitPowerLaw(xs, curves[name]); err == nil {
+				rep.Notes = append(rep.Notes, fmt.Sprintf("fit: %-8s maxTTR ~ n^%.2f", name, e))
+			}
+			series = append(series, asciiplot.Series{Label: name, X: xs, Y: curves[name]})
+		}
+	}
+	rep.Notes = append(rep.Notes, asciiplot.Lines("symmetric max TTR vs n", 56, 12, series))
+	rep.Notes = append(rep.Notes,
+		"paper: ours O(1) (≤6 slots via §3.2); Jump-Stay O(n); CRSEQ O(n²).")
+	return rep
+}

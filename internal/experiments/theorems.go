@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rendezvous/internal/asciiplot"
+	"rendezvous/internal/bitstring"
+	"rendezvous/internal/catalan"
+	"rendezvous/internal/pairsched"
+	"rendezvous/internal/schedule"
+	"rendezvous/internal/simulator"
+	"rendezvous/internal/stats"
+)
+
+// Figures regenerates the paper's three construction figures as ASCII
+// walks: Figure 1 (graphs and balanced strings), Figure 2 (strictly
+// Catalan sequences and a shift), Figure 3 (the 2-maximality
+// transformation).
+func Figures(Config) *Report {
+	rep := &Report{
+		ID:     "F1-F3",
+		Title:  "Figures 1–3: sequence walks",
+		Header: []string{"figure", "property", "sequence"},
+	}
+	f1a := "11010"
+	f1b := "110001"
+	strictly := bitstring.MustParse("1101011000") // strictly Catalan example
+	shifted := strictly.Rotate(3)
+	twoMax := catalan.MakeTwoMaximal(strictly)
+
+	add := func(fig, prop string, s bitstring.String) {
+		rep.Rows = append(rep.Rows, []string{fig, prop, s.String()})
+	}
+	add("1a", "graph of a sequence", bitstring.MustParse(f1a))
+	add("1b", fmt.Sprintf("balanced=%v", bitstring.MustParse(f1b).IsBalanced()), bitstring.MustParse(f1b))
+	add("2a", fmt.Sprintf("strictlyCatalan=%v", strictly.IsStrictlyCatalan()), strictly)
+	add("2b", fmt.Sprintf("shifted; strictlyCatalan=%v (must be false)", shifted.IsStrictlyCatalan()), shifted)
+	add("3a", fmt.Sprintf("maxPoints=%d", len(strictly.MaxPoints())), strictly)
+	add("3b", fmt.Sprintf("after M: 2-maximal=%v", twoMax.IsTMaximal(2)), twoMax)
+
+	rep.Notes = append(rep.Notes,
+		asciiplot.Walk("Figure 1a", f1a),
+		asciiplot.Walk("Figure 1b (balanced)", f1b),
+		asciiplot.Walk("Figure 2a (strictly Catalan)", strictly.String()),
+		asciiplot.Walk("Figure 2b (shifted copy)", shifted.String()),
+		asciiplot.Walk("Figure 3a (one maximum marked by peak)", strictly.String()),
+		asciiplot.Walk("Figure 3b (after inserting 1010: two maxima)", twoMax.String()),
+	)
+	return rep
+}
+
+// Theorem1 measures the pair-schedule guarantee: the exact worst TTR
+// over adversarial size-two pairs and ALL cyclic offsets, against the
+// word length |R| = O(log log n).
+func Theorem1(cfg Config) *Report {
+	ns := []int{4, 16, 256, 1 << 12, 1 << 16, 1 << 20}
+	if cfg.Quick {
+		ns = []int{4, 16, 256, 1 << 12}
+	}
+	rep := &Report{
+		ID:     "THM1",
+		Title:  "Theorem 1: size-two sets — worst TTR over all offsets vs |R(n)|",
+		Header: []string{"n", "|R| (bound)", "worst TTR", "log2log2(n)"},
+	}
+	for _, n := range ns {
+		period := pairsched.WordLen(n)
+		worst := 0
+		for _, w := range simulator.AdversarialPairs(n) {
+			if len(w.A) != 2 || len(w.B) != 2 {
+				continue
+			}
+			pa, err := pairsched.New(n, w.A[0], w.A[1])
+			if err != nil {
+				continue
+			}
+			pb, err := pairsched.New(n, w.B[0], w.B[1])
+			if err != nil {
+				continue
+			}
+			st := simulator.SweepOffsets(pa, pb, simulator.ExhaustiveOffsets(period), period+1)
+			if st.Max > worst {
+				worst = st.Max
+			}
+		}
+		rep.Rows = append(rep.Rows, []string{
+			itoa(n), itoa(period), itoa(worst), ftoa(log2log2(n)),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: Ra(n,2) = O(log log n); the bound column must track the last column linearly.")
+	return rep
+}
+
+func log2log2(n int) float64 {
+	l := 0.0
+	for v := n; v > 1; v >>= 1 {
+		l++
+	}
+	ll := 0.0
+	for v := int(l); v > 1; v >>= 1 {
+		ll++
+	}
+	return ll
+}
+
+// Theorem3 measures the general-schedule guarantee two ways: TTR vs the
+// product |A||B| at fixed n (expected linear), and TTR vs n at fixed
+// |A| = |B| (expected near-flat, the log log factor).
+func Theorem3(cfg Config) *Report {
+	n0 := 1024
+	ks := []int{1, 2, 4, 8, 16}
+	pairs, offsets := 5, 8
+	if cfg.Quick {
+		ks = []int{1, 2, 4}
+		pairs, offsets = 3, 5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	rep := &Report{
+		ID:     "THM3",
+		Title:  "Theorem 3: general sets — max TTR vs |A||B| (n=1024) and vs n (k=4)",
+		Header: []string{"sweep", "value", "max TTR", "analytic bound"},
+	}
+	var xs, ys []float64
+	for _, k := range ks {
+		worst, bound := 0, 0
+		for p := 0; p < pairs; p++ {
+			w := simulator.RandomOverlappingPair(rng, n0, k, k)
+			sa, err := schedule.NewGeneral(n0, w.A)
+			if err != nil {
+				continue
+			}
+			sb, err := schedule.NewGeneral(n0, w.B)
+			if err != nil {
+				continue
+			}
+			bound = sa.RendezvousBound(k)
+			st := simulator.SweepOffsets(sa, sb,
+				simulator.SampledOffsets(rng, sa.Period(), offsets), bound+1)
+			if st.Max > worst {
+				worst = st.Max
+			}
+		}
+		rep.Rows = append(rep.Rows, []string{"k=|A|=|B|", itoa(k), itoa(worst), itoa(bound)})
+		if k >= 2 {
+			// k = 1 pairs often meet instantly (constant schedules) and
+			// would skew the log-log fit.
+			xs = append(xs, float64(k*k))
+			ys = append(ys, float64(worst+1))
+		}
+	}
+	if e, _, err := stats.FitPowerLaw(xs, ys); err == nil {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("fit (k≥2): maxTTR ~ (|A||B|)^%.2f (paper: linear ⇒ exponent ≈ 1)", e))
+	}
+	for _, n := range []int{64, 1024, 1 << 16} {
+		const k = 4
+		worst, bound := 0, 0
+		for p := 0; p < pairs; p++ {
+			w := simulator.RandomOverlappingPair(rng, n, k, k)
+			sa, err := schedule.NewGeneral(n, w.A)
+			if err != nil {
+				continue
+			}
+			sb, err := schedule.NewGeneral(n, w.B)
+			if err != nil {
+				continue
+			}
+			bound = sa.RendezvousBound(k)
+			st := simulator.SweepOffsets(sa, sb,
+				simulator.SampledOffsets(rng, sa.Period(), offsets), bound+1)
+			if st.Max > worst {
+				worst = st.Max
+			}
+		}
+		rep.Rows = append(rep.Rows, []string{"n (k=4)", itoa(n), itoa(worst), itoa(bound)})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: O(|A||B| log log n) — linear in the product, log log (near-flat) in n.")
+	return rep
+}
+
+// SymmetricWrapper measures §3.2: the O(1) symmetric meeting time and
+// the ≤12× asymmetric overhead of the wrapper.
+func SymmetricWrapper(cfg Config) *Report {
+	rng := rand.New(rand.NewSource(cfg.Seed + 4))
+	ns := []int{16, 256, 1 << 12, 1 << 16}
+	if cfg.Quick {
+		ns = ns[:2]
+	}
+	rep := &Report{
+		ID:     "SYM",
+		Title:  "§3.2 wrapper: symmetric TTR (must be ≤ 6) and asymmetric blowup",
+		Header: []string{"n", "sym max TTR", "inner asym max", "wrapped asym max", "blowup"},
+	}
+	for _, n := range ns {
+		const k = 4
+		set := simulator.RandomOverlappingPair(rng, n, k, k)
+		inner, err := schedule.NewGeneral(n, set.A)
+		if err != nil {
+			continue
+		}
+		innerB, err := schedule.NewGeneral(n, set.B)
+		if err != nil {
+			continue
+		}
+		wrapped := schedule.NewSymmetric(inner)
+		wrappedB := schedule.NewSymmetric(innerB)
+
+		symStats := simulator.SweepOffsets(wrapped, wrapped, simulator.ExhaustiveOffsets(200), 10)
+		innerStats := simulator.SweepOffsets(inner, innerB,
+			simulator.SampledOffsets(rng, inner.Period(), 10), inner.RendezvousBound(k)+1)
+		wrapStats := simulator.SweepOffsets(wrapped, wrappedB,
+			simulator.SampledOffsets(rng, wrapped.Period(), 10), 12*inner.RendezvousBound(k)+24)
+		blowup := "n/a"
+		if innerStats.Max > 0 {
+			blowup = fmt.Sprintf("%.1fx", float64(wrapStats.Max)/float64(innerStats.Max))
+		}
+		rep.Rows = append(rep.Rows, []string{
+			itoa(n), itoa(symStats.Max), itoa(innerStats.Max), itoa(wrapStats.Max), blowup,
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: symmetric O(1); wrapper costs ≤ 12× on asymmetric pairs.",
+		"blowup estimates are noisy (inner and wrapped maxima come from different sampled offsets);",
+		"the analytic factor is exactly 12 plus an O(1) boundary term.")
+	return rep
+}

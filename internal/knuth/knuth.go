@@ -1,0 +1,115 @@
+// Package knuth implements a Knuth-style balanced encoding: an injective
+// map K from binary strings to balanced binary strings (equal numbers of
+// 0s and 1s) whose output length depends only on the input length.
+//
+// The scheme is Knuth's serial algorithm ("Efficient balanced codes",
+// IEEE Trans. IT 1986): complementing the first i bits of a string x
+// changes the weight by ±1 as i steps from 0 to |x|, and the weights at
+// the two endpoints, wt(x) and |x|−wt(x), straddle |x|/2, so some prefix
+// length i yields an exactly balanced string. The index i is appended in
+// a self-balanced suffix i₂ ∘ ¬i₂ (the paper's leaner suffix shaves a
+// log♯ factor off the suffix; the difference is a constant factor of the
+// O(log log n) schedule length and is recorded in DESIGN.md §3.1).
+//
+// Inputs of odd length are first padded with a single 0 so the target
+// weight |x|/2 is integral; the pad is removed by Decode.
+package knuth
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rendezvous/internal/bitstring"
+)
+
+// suffixIndexWidth returns the number of bits used to encode the pivot
+// index for a padded input of (even) length m; the pivot ranges over
+// [0, m], so bitlen(m) bits suffice, with a floor of 1 so the suffix is
+// never empty.
+func suffixIndexWidth(m int) int {
+	w := bits.Len(uint(m))
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// EncodedLen returns |Encode(x)| for any input of length n: the padded
+// length plus twice the pivot-index width. Output length is a function
+// of input length alone, which the rendezvous constructions rely on.
+func EncodedLen(n int) int {
+	m := n + n%2
+	return m + 2*suffixIndexWidth(m)
+}
+
+// Encode returns the balanced encoding of x.
+func Encode(x bitstring.String) bitstring.String {
+	padded := x
+	if x.Len()%2 != 0 {
+		padded = bitstring.Concat(x, bitstring.Zeros(1))
+	}
+	m := padded.Len()
+	target := m / 2
+
+	// Walk i upward until the prefix-complemented string is balanced.
+	weight := padded.Weight()
+	pivot := -1
+	if weight == target {
+		pivot = 0
+	}
+	w := weight
+	for i := 1; i <= m && pivot < 0; i++ {
+		if padded.Bit(i-1) == 1 {
+			w-- // complementing a 1 lowers the weight
+		} else {
+			w++
+		}
+		if w == target {
+			pivot = i
+		}
+	}
+	if pivot < 0 {
+		// Unreachable: w sweeps from wt to m−wt in ±1 steps and target
+		// lies between them.
+		panic(fmt.Sprintf("knuth: no balancing pivot for %v", x))
+	}
+
+	body := complementPrefix(padded, pivot)
+	idx := bitstring.MustFromUint(uint64(pivot), suffixIndexWidth(m))
+	return bitstring.Concat(body, idx, idx.Complement())
+}
+
+// Decode inverts Encode given the original (pre-padding) input length n.
+// It reports an error if y is malformed.
+func Decode(y bitstring.String, n int) (bitstring.String, error) {
+	m := n + n%2
+	w := suffixIndexWidth(m)
+	if y.Len() != m+2*w {
+		return bitstring.String{}, fmt.Errorf("knuth: encoded length %d, want %d for input length %d", y.Len(), m+2*w, n)
+	}
+	idx := y.Slice(m, m+w)
+	if !idx.Complement().Equal(y.Slice(m+w, m+2*w)) {
+		return bitstring.String{}, fmt.Errorf("knuth: corrupt pivot suffix in %v", y)
+	}
+	pivotU, err := idx.Uint()
+	if err != nil {
+		return bitstring.String{}, fmt.Errorf("knuth: pivot decode: %w", err)
+	}
+	pivot := int(pivotU)
+	if pivot > m {
+		return bitstring.String{}, fmt.Errorf("knuth: pivot %d exceeds body length %d", pivot, m)
+	}
+	padded := complementPrefix(y.Slice(0, m), pivot)
+	if n%2 != 0 && padded.Bit(m-1) != 0 {
+		return bitstring.String{}, fmt.Errorf("knuth: nonzero pad bit in %v", y)
+	}
+	return padded.Slice(0, n), nil
+}
+
+func complementPrefix(s bitstring.String, i int) bitstring.String {
+	out := s.Clone()
+	for j := 0; j < i; j++ {
+		out.SetBit(j, 1-s.Bit(j))
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package knuth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rendezvous/internal/bitstring"
+)
+
+func TestEncodeIsBalanced(t *testing.T) {
+	f := func(v uint64, width uint8) bool {
+		n := int(width % 16)
+		v &= (1 << uint(n)) - 1
+		x := bitstring.MustFromUint(v, n)
+		return Encode(x).IsBalanced()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodedLenMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n <= 40; n++ {
+		for trial := 0; trial < 20; trial++ {
+			x := randomString(rng, n)
+			if got, want := Encode(x).Len(), EncodedLen(n); got != want {
+				t.Fatalf("len(Encode(x)) = %d, want EncodedLen(%d) = %d for x=%v", got, n, want, x)
+			}
+		}
+	}
+}
+
+func TestRoundTripExhaustiveSmall(t *testing.T) {
+	for n := 0; n <= 12; n++ {
+		limit := 1 << uint(n)
+		for v := 0; v < limit; v++ {
+			x := bitstring.MustFromUint(uint64(v), n)
+			y := Encode(x)
+			back, err := Decode(y, n)
+			if err != nil {
+				t.Fatalf("Decode(Encode(%v)): %v", x, err)
+			}
+			if !back.Equal(x) {
+				t.Fatalf("round trip failed: %v -> %v -> %v", x, y, back)
+			}
+		}
+	}
+}
+
+func TestInjectiveExhaustiveSmall(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		seen := make(map[string]uint64)
+		limit := uint64(1) << uint(n)
+		for v := uint64(0); v < limit; v++ {
+			y := Encode(bitstring.MustFromUint(v, n)).String()
+			if prev, dup := seen[y]; dup {
+				t.Fatalf("n=%d: Encode(%d) = Encode(%d) = %s", n, v, prev, y)
+			}
+			seen[y] = v
+		}
+	}
+}
+
+func TestRoundTripOddLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 3, 5, 7, 13, 21, 33} {
+		for trial := 0; trial < 50; trial++ {
+			x := randomString(rng, n)
+			back, err := Decode(Encode(x), n)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if !back.Equal(x) {
+				t.Fatalf("n=%d: round trip failed for %v", n, x)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	x := bitstring.MustParse("1011")
+	y := Encode(x)
+
+	if _, err := Decode(y, 5); err == nil {
+		t.Error("wrong claimed length: expected error")
+	}
+
+	// Corrupt the self-complementary suffix.
+	bad := y.Clone()
+	bad.SetBit(y.Len()-1, 1-y.Bit(y.Len()-1))
+	if _, err := Decode(bad, 4); err == nil {
+		t.Error("corrupt suffix: expected error")
+	}
+
+	if _, err := Decode(bitstring.Zeros(3), 0); err == nil {
+		t.Error("length-0 input with wrong encoding size: expected error")
+	}
+}
+
+func TestDecodeRejectsBadPad(t *testing.T) {
+	// For odd n the pad bit must be 0 after un-complementing; build an
+	// encoding claiming pivot 0 with a 1 in the pad position.
+	n := 3
+	m := 4
+	w := suffixIndexWidth(m)
+	body := bitstring.MustParse("0111") // pad bit (index 3) = 1
+	idx := bitstring.MustFromUint(0, w)
+	y := bitstring.Concat(body, idx, idx.Complement())
+	if _, err := Decode(y, n); err == nil {
+		t.Error("expected pad-bit error")
+	}
+}
+
+func randomString(rng *rand.Rand, n int) bitstring.String {
+	s := bitstring.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			s.SetBit(i, 1)
+		}
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package lowerbound
+
+import (
+	"fmt"
+	"sort"
+
+	"rendezvous/internal/schedule"
+)
+
+// Corollary 5 of the paper lifts the Ω(log log n) bound from size-2 sets
+// to size-k sets by an embedding: split [n] into A = {1..m} and disjoint
+// blocks B_1…B_m of size k−2, and extend each 2-set {i,j} ⊆ A to
+//
+//	X_{i,j} = {i, j} ∪ B_{(i+j) mod m}.
+//
+// The block index (i+j) mod m makes any two distinct overlapping 2-sets
+// pick different blocks, so X_{i,j} ∩ X_{i',j'} = {i,j} ∩ {i',j'}: a
+// rendezvous between the extended sets must happen on the original
+// 2-set intersection, and any (n,k)-schedule therefore embeds an
+// (m,2)-schedule with no better rendezvous time. This file implements
+// the embedding so the reduction can be executed and checked.
+
+// Corollary5Embedding holds the extended family for parameters (n, k).
+type Corollary5Embedding struct {
+	N, K, M int
+	blocks  [][]int // B_1..B_m, each of size k−2
+}
+
+// NewCorollary5Embedding splits [n] for sets of size k. It requires
+// k ≥ 3 (k = 2 is the base case) and n ≥ m(k−1) with m = ⌊n/(k−1)⌋ ≥ 2.
+func NewCorollary5Embedding(n, k int) (*Corollary5Embedding, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("lowerbound: corollary 5 embedding needs k ≥ 3, got %d", k)
+	}
+	m := n / (k - 1)
+	if m < 2 {
+		return nil, fmt.Errorf("lowerbound: universe %d too small for k=%d (need m ≥ 2)", n, k)
+	}
+	e := &Corollary5Embedding{N: n, K: k, M: m}
+	at := m + 1 // blocks live above A = {1..m}
+	for b := 0; b < m; b++ {
+		block := make([]int, k-2)
+		for i := range block {
+			block[i] = at
+			at++
+		}
+		e.blocks = append(e.blocks, block)
+	}
+	return e, nil
+}
+
+// Extend returns X_{i,j} for a 2-set {i,j} ⊆ {1..m}, sorted.
+func (e *Corollary5Embedding) Extend(i, j int) ([]int, error) {
+	if !(1 <= i && i < j && j <= e.M) {
+		return nil, fmt.Errorf("lowerbound: need 1 ≤ i < j ≤ %d, got (%d,%d)", e.M, i, j)
+	}
+	out := append([]int{i, j}, e.blocks[(i+j)%e.M]...)
+	sort.Ints(out)
+	return out, nil
+}
+
+// VerifyIntersections checks the structural property the proof needs on
+// the whole family: for all overlapping-but-distinct 2-sets, the
+// extended sets intersect exactly in the 2-set intersection. It returns
+// the first violating quadruple, if any.
+func (e *Corollary5Embedding) VerifyIntersections() error {
+	for i := 1; i <= e.M; i++ {
+		for j := i + 1; j <= e.M; j++ {
+			xij, err := e.Extend(i, j)
+			if err != nil {
+				return err
+			}
+			for p := 1; p <= e.M; p++ {
+				for q := p + 1; q <= e.M; q++ {
+					if i == p && j == q {
+						continue
+					}
+					base := intersectSorted([]int{i, j}, []int{p, q})
+					if len(base) == 0 {
+						continue
+					}
+					xpq, err := e.Extend(p, q)
+					if err != nil {
+						return err
+					}
+					got := intersectSorted(xij, xpq)
+					if !equalInts(got, base) {
+						return fmt.Errorf("lowerbound: X_{%d,%d} ∩ X_{%d,%d} = %v, want %v", i, j, p, q, got, base)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Pullback restricts an (n,k)-schedule for X_{i,j} to a schedule for
+// {i,j} exactly as the proof does: references to channels outside {i,j}
+// are replaced by min(i,j). The result is a valid 2-set schedule whose
+// rendezvous with other pulled-back schedules can only happen where the
+// extended schedules rendezvoused.
+func (e *Corollary5Embedding) Pullback(fam Family, i, j int) (schedule.Schedule, error) {
+	x, err := e.Extend(i, j)
+	if err != nil {
+		return nil, err
+	}
+	s, err := fam(x)
+	if err != nil {
+		return nil, err
+	}
+	return pulledBack{inner: s, lo: i, hi: j}, nil
+}
+
+type pulledBack struct {
+	inner schedule.Schedule
+	lo    int
+	hi    int
+}
+
+func (p pulledBack) Channel(t int) int {
+	if c := p.inner.Channel(t); c == p.hi {
+		return p.hi
+	}
+	return p.lo
+}
+
+func (p pulledBack) Period() int     { return p.inner.Period() }
+func (p pulledBack) Channels() []int { return []int{p.lo, p.hi} }
+
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

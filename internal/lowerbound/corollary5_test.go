@@ -1,0 +1,128 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"rendezvous/internal/schedule"
+)
+
+func TestCorollary5EmbeddingStructure(t *testing.T) {
+	e, err := NewCorollary5Embedding(20, 4) // m = 6, blocks of size 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.M != 6 {
+		t.Fatalf("m = %d, want 6", e.M)
+	}
+	x, err := e.Extend(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 4 {
+		t.Fatalf("|X| = %d, want k = 4", len(x))
+	}
+	has := map[int]bool{}
+	for _, c := range x {
+		if c < 1 || c > 20 {
+			t.Fatalf("channel %d outside universe", c)
+		}
+		if has[c] {
+			t.Fatalf("duplicate channel %d in %v", c, x)
+		}
+		has[c] = true
+	}
+	if !has[2] || !has[5] {
+		t.Fatalf("extension %v lost its base pair", x)
+	}
+}
+
+// TestCorollary5Intersections verifies the key structural property for
+// several (n, k): extended sets of overlapping distinct pairs intersect
+// exactly in the base intersection.
+func TestCorollary5Intersections(t *testing.T) {
+	for _, tc := range [][2]int{{20, 4}, {15, 3}, {36, 5}, {14, 3}} {
+		e, err := NewCorollary5Embedding(tc[0], tc[1])
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc[0], tc[1], err)
+		}
+		if err := e.VerifyIntersections(); err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc[0], tc[1], err)
+		}
+	}
+}
+
+// TestCorollary5PullbackRendezvous runs the reduction end to end: the
+// pulled-back 2-set schedules derived from our (n,k)-family must still
+// rendezvous pairwise — their meetings are exactly the meetings of the
+// extended sets, so the (m,2) rendezvous time lower-bounds the (n,k)
+// one, which is how the paper transfers Ω(log log n) upward.
+func TestCorollary5PullbackRendezvous(t *testing.T) {
+	const n, k = 20, 4
+	e, err := NewCorollary5Embedding(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := func(channels []int) (schedule.Schedule, error) {
+		return schedule.NewGeneral(n, channels)
+	}
+	// Pull back all pairs over A = {1..m} and check pairwise synchronous
+	// rendezvous for overlapping pairs within the generous (n,k) bound.
+	g, err := schedule.NewGeneral(n, []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := g.RendezvousBound(k)
+	type pb struct {
+		i, j int
+		s    schedule.Schedule
+	}
+	var pulled []pb
+	for i := 1; i <= e.M; i++ {
+		for j := i + 1; j <= e.M; j++ {
+			s, err := e.Pullback(fam, i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pulled = append(pulled, pb{i, j, s})
+		}
+	}
+	for _, a := range pulled {
+		for _, b := range pulled {
+			shared := intersectSorted([]int{a.i, a.j}, []int{b.i, b.j})
+			if len(shared) == 0 {
+				continue
+			}
+			met := false
+			for s := 0; s < bound && !met; s++ {
+				ca, cb := a.s.Channel(s), b.s.Channel(s)
+				met = ca == cb && containsInt(shared, ca)
+			}
+			if !met {
+				t.Fatalf("pulled-back pair {%d,%d}/{%d,%d} missed rendezvous on %v within %d slots",
+					a.i, a.j, b.i, b.j, shared, bound)
+			}
+		}
+	}
+}
+
+func TestCorollary5Errors(t *testing.T) {
+	if _, err := NewCorollary5Embedding(10, 2); err == nil {
+		t.Error("k=2: expected error")
+	}
+	if _, err := NewCorollary5Embedding(3, 4); err == nil {
+		t.Error("tiny universe: expected error")
+	}
+	e, err := NewCorollary5Embedding(20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Extend(3, 3); err == nil {
+		t.Error("i=j: expected error")
+	}
+	if _, err := e.Extend(0, 2); err == nil {
+		t.Error("i=0: expected error")
+	}
+	if _, err := e.Extend(1, 99); err == nil {
+		t.Error("j>m: expected error")
+	}
+}

@@ -1,0 +1,190 @@
+// Package lowerbound provides executable counterparts to §4 of Chen et
+// al. (ICDCS 2014). The paper's lower bounds are existential (Ramsey
+// theory and the probabilistic method); this package makes them
+// *checkable* on concrete instances:
+//
+//   - FindMonochromaticPath is the witness extractor behind Theorem 4:
+//     a monochromatic directed path (i<j<k with identical schedule words
+//     on (i,j) and (j,k)) certifies that a synchronous (n,2)-schedule
+//     family cannot guarantee rendezvous.
+//   - MinSyncWordLength computes, by exhaustive backtracking over all
+//     word families, the exact optimal synchronous rendezvous time for
+//     size-two sets on tiny universes — the quantity Rs(n,2) that
+//     Theorem 4 bounds below by Ω(log log n).
+//   - ChannelDensity and MeetingPairs instantiate the density counting
+//     argument of Theorem 7 (the asynchronous Ω(|A||B|) bound) on
+//     concrete schedules.
+package lowerbound
+
+import (
+	"fmt"
+
+	"rendezvous/internal/schedule"
+)
+
+// WordFamily assigns a binary schedule word to every size-two set
+// {a < b} of the universe: the synchronous model of Theorem 4, where a
+// word bit 0 hops the smaller channel and 1 the larger.
+type WordFamily func(a, b int) string
+
+// FindMonochromaticPath scans all directed paths a<b<c and returns the
+// first whose two edges carry identical words. Such a path is a
+// rendezvous-failure certificate: the sets {a,b} and {b,c} share only b,
+// which one schedule hops exactly when the other does not.
+func FindMonochromaticPath(n int, fam WordFamily) (a, b, c int, found bool) {
+	for b = 2; b < n; b++ {
+		// Index words of edges ending at b to find a matching edge
+		// starting at b without quadratic re-scans.
+		into := make(map[string]int)
+		for a = 1; a < b; a++ {
+			into[fam(a, b)] = a
+		}
+		for c = b + 1; c <= n; c++ {
+			if a, ok := into[fam(b, c)]; ok {
+				return a, b, c, true
+			}
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// pairConstraint captures what two distinct overlapping edges need from
+// their words at some common slot.
+type pairConstraint struct {
+	e1, e2 int  // edge indices
+	b1, b2 byte // required simultaneous bits
+}
+
+// MinSyncWordLength returns the smallest T ≤ maxT for which a
+// synchronous (n,2)-word family of length T exists that guarantees
+// rendezvous for every overlapping pair, or ok=false if no T ≤ maxT
+// works. It is exponential in both n and T — the point is exactness on
+// tiny universes (n ≤ 4, maxT ≤ 4), giving ground truth to compare the
+// constructive upper bound against.
+func MinSyncWordLength(n, maxT int) (int, bool, error) {
+	if n < 2 {
+		return 0, false, fmt.Errorf("lowerbound: need n ≥ 2, got %d", n)
+	}
+	if m := n * (n - 1) / 2; m > 10 {
+		return 0, false, fmt.Errorf("lowerbound: %d edges is beyond the exact search (max 10)", m)
+	}
+	type edge struct{ a, b int }
+	var edges []edge
+	idx := make(map[[2]int]int)
+	for a := 1; a <= n; a++ {
+		for b := a + 1; b <= n; b++ {
+			idx[[2]int{a, b}] = len(edges)
+			edges = append(edges, edge{a, b})
+		}
+	}
+	var constraints []pairConstraint
+	for i, e := range edges {
+		for j := i + 1; j < len(edges); j++ {
+			f := edges[j]
+			switch {
+			case e.a == f.a && e.b == f.b:
+				// identical — impossible for i<j
+			case e.b == f.a:
+				// path e.a < e.b = f.a < f.b: shared channel is e's max,
+				// f's min.
+				constraints = append(constraints, pairConstraint{i, j, 1, 0})
+			case f.b == e.a:
+				constraints = append(constraints, pairConstraint{j, i, 1, 0})
+			case e.a == f.a:
+				constraints = append(constraints, pairConstraint{i, j, 0, 0})
+			case e.b == f.b:
+				constraints = append(constraints, pairConstraint{i, j, 1, 1})
+			}
+		}
+	}
+	// Group constraints by the later edge so backtracking can check each
+	// new assignment against all earlier ones.
+	byLater := make([][]pairConstraint, len(edges))
+	for _, c := range constraints {
+		later := c.e1
+		if c.e2 > later {
+			later = c.e2
+		}
+		byLater[later] = append(byLater[later], c)
+	}
+	for t := 1; t <= maxT; t++ {
+		words := make([]uint32, len(edges))
+		if assign(0, t, words, byLater) {
+			return t, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// assign tries every word of length t for edge e, checking constraints
+// against already-assigned edges, and recurses.
+func assign(e, t int, words []uint32, byLater [][]pairConstraint) bool {
+	if e == len(words) {
+		return true
+	}
+	for w := uint32(0); w < 1<<uint(t); w++ {
+		words[e] = w
+		ok := true
+		for _, c := range byLater[e] {
+			if !satisfied(c, t, words) {
+				ok = false
+				break
+			}
+		}
+		if ok && assign(e+1, t, words, byLater) {
+			return true
+		}
+	}
+	return false
+}
+
+func satisfied(c pairConstraint, t int, words []uint32) bool {
+	w1, w2 := words[c.e1], words[c.e2]
+	for s := 0; s < t; s++ {
+		if byte(w1>>uint(s)&1) == c.b1 && byte(w2>>uint(s)&1) == c.b2 {
+			return true
+		}
+	}
+	return false
+}
+
+// ChannelDensity is the paper's ∆(h, σ; T): the fraction of the first T
+// slots at which schedule σ hops channel h.
+func ChannelDensity(s schedule.Schedule, h, T int) float64 {
+	if T <= 0 {
+		return 0
+	}
+	count := 0
+	for t := 0; t < T; t++ {
+		if s.Channel(t) == h {
+			count++
+		}
+	}
+	return float64(count) / float64(T)
+}
+
+// MeetingPairs counts the paper's set P from the proof of Theorem 7:
+// pairs (x, y) with x ∈ [0,R), y ∈ [0,r), x ≥ y, at which both schedules
+// hop channel h. Each element of P covers exactly one wake offset, so
+// |P| ≥ R − r is necessary for guaranteed rendezvous in r slots — the
+// inequality that forces r ≥ (1 − r/R)·kℓ.
+func MeetingPairs(a, b schedule.Schedule, h, R, r int) int {
+	bHits := make([]int, 0, r)
+	for y := 0; y < r; y++ {
+		if b.Channel(y) == h {
+			bHits = append(bHits, y)
+		}
+	}
+	count := 0
+	for x := 0; x < R; x++ {
+		if a.Channel(x) != h {
+			continue
+		}
+		for _, y := range bHits {
+			if x >= y {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,181 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"rendezvous/internal/pairsched"
+	"rendezvous/internal/schedule"
+)
+
+func TestFindMonochromaticPathOnConstantFamily(t *testing.T) {
+	// A family giving every edge the same word fails immediately.
+	fam := func(a, b int) string { return "0101" }
+	i, j, k, found := FindMonochromaticPath(8, fam)
+	if !found {
+		t.Fatal("constant family must contain a monochromatic path")
+	}
+	if !(1 <= i && i < j && j < k && k <= 8) {
+		t.Fatalf("bad witness (%d,%d,%d)", i, j, k)
+	}
+}
+
+func TestFindMonochromaticPathOnPaperFamily(t *testing.T) {
+	// The Lemma-2 colored family must be path-free: this is exactly why
+	// the Theorem-1 schedules work.
+	for _, n := range []int{4, 16, 64, 200} {
+		fam := func(a, b int) string {
+			w, err := pairsched.SyncWord(n, a, b)
+			if err != nil {
+				t.Fatalf("SyncWord(%d,%d): %v", a, b, err)
+			}
+			return w.String()
+		}
+		if i, j, k, found := FindMonochromaticPath(n, fam); found {
+			t.Fatalf("n=%d: paper family has monochromatic path (%d,%d,%d)", n, i, j, k)
+		}
+	}
+}
+
+func TestFindMonochromaticPathNoFalsePositive(t *testing.T) {
+	// A family with all-distinct words on a tiny universe has no path.
+	words := map[[2]int]string{
+		{1, 2}: "00", {1, 3}: "01", {2, 3}: "10",
+	}
+	fam := func(a, b int) string { return words[[2]int{a, b}] }
+	if _, _, _, found := FindMonochromaticPath(3, fam); found {
+		t.Fatal("distinct-word family flagged incorrectly")
+	}
+}
+
+// TestMinSyncWordLengthGroundTruth pins the exact optimum for tiny
+// universes. These values are ground truth produced by exhaustive
+// search; the paper's construction gives an upper bound a constant
+// factor above them, and Theorem 4 says they must eventually grow like
+// log log n.
+func TestMinSyncWordLengthGroundTruth(t *testing.T) {
+	got2, ok, err := MinSyncWordLength(2, 3)
+	if err != nil || !ok {
+		t.Fatalf("n=2: %v ok=%v", err, ok)
+	}
+	if got2 != 1 {
+		t.Errorf("Rs-opt(2,2) = %d, want 1 (single pair meets at slot 0)", got2)
+	}
+	got3, ok, err := MinSyncWordLength(3, 4)
+	if err != nil || !ok {
+		t.Fatalf("n=3: %v ok=%v", err, ok)
+	}
+	if got3 < 2 || got3 > 3 {
+		t.Errorf("Rs-opt(3,2) = %d, expected 2 or 3", got3)
+	}
+	got4, ok, err := MinSyncWordLength(4, 4)
+	if err != nil {
+		t.Fatalf("n=4: %v", err)
+	}
+	if ok && got4 < got3 {
+		t.Errorf("optimum decreased: Rs-opt(4,2)=%d < Rs-opt(3,2)=%d", got4, got3)
+	}
+	t.Logf("exact optima: Rs(2,2)=%d Rs(3,2)=%d Rs(4,2)=%d(ok=%v)", got2, got3, got4, ok)
+}
+
+func TestMinSyncWordLengthUpperBoundConsistency(t *testing.T) {
+	// The constructive C-word family is feasible at length SyncWordLen(n),
+	// so the exact optimum can never exceed it.
+	n := 4
+	opt, ok, err := MinSyncWordLength(n, pairsched.SyncWordLen(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("no family up to the constructive length %d — construction refuted?", pairsched.SyncWordLen(n))
+	}
+	if opt > pairsched.SyncWordLen(n) {
+		t.Fatalf("optimum %d exceeds constructive bound %d", opt, pairsched.SyncWordLen(n))
+	}
+}
+
+func TestMinSyncWordLengthErrors(t *testing.T) {
+	if _, _, err := MinSyncWordLength(1, 3); err == nil {
+		t.Error("n=1: expected error")
+	}
+	if _, _, err := MinSyncWordLength(6, 2); err == nil {
+		t.Error("15 edges: expected size error")
+	}
+}
+
+func TestChannelDensity(t *testing.T) {
+	c, err := schedule.NewCyclic([]int{1, 2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ChannelDensity(c, 1, 4); got != 0.75 {
+		t.Errorf("density = %v, want 0.75", got)
+	}
+	if got := ChannelDensity(c, 2, 8); got != 0.25 {
+		t.Errorf("density = %v, want 0.25", got)
+	}
+	if ChannelDensity(c, 1, 0) != 0 {
+		t.Error("T=0 density should be 0")
+	}
+}
+
+// TestDensityExpectationFairShare verifies the premise of Theorem 7's
+// counting on our schedules: over a full period, a k-channel General
+// schedule gives each channel roughly its fair share 1/k of slots
+// (within a factor ~3 — the epochs visit channels via two primes in
+// [k, 3k]).
+func TestDensityExpectationFairShare(t *testing.T) {
+	set := []int{2, 5, 9, 11, 14}
+	g, err := schedule.NewGeneral(16, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := g.Period()
+	total := 0.0
+	for _, ch := range set {
+		d := ChannelDensity(g, ch, T)
+		total += d
+		if d == 0 {
+			t.Errorf("channel %d never hopped", ch)
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("densities sum to %v, want 1", total)
+	}
+}
+
+// TestMeetingPairsBoundsRendezvous instantiates the Theorem-7 argument:
+// for guaranteed rendezvous within r slots, the meeting-pair count for
+// the unique shared channel must cover all R−r wake offsets.
+func TestMeetingPairsBoundsRendezvous(t *testing.T) {
+	n := 16
+	a, err := schedule.NewGeneral(n, []int{3, 7, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := schedule.NewGeneral(n, []int{7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.RendezvousBound(2)
+	R := 4 * r
+	got := MeetingPairs(a, b, 7, R, r)
+	if got < R-r {
+		t.Errorf("meeting pairs %d < R−r = %d: rendezvous in r slots would be impossible", got, R-r)
+	}
+}
+
+func TestMeetingPairsCounting(t *testing.T) {
+	a, err := schedule.NewCyclic([]int{1, 2}) // hops 1 at even slots
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := schedule.NewCyclic([]int{1}) // always 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R=4, r=2: a hits 1 at x ∈ {0,2}; b at y ∈ {0,1}; pairs with x ≥ y:
+	// (0,0), (2,0), (2,1) = 3.
+	if got := MeetingPairs(a, b, 1, 4, 2); got != 3 {
+		t.Errorf("MeetingPairs = %d, want 3", got)
+	}
+}

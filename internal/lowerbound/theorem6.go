@@ -1,0 +1,165 @@
+package lowerbound
+
+import (
+	"fmt"
+	"sort"
+
+	"rendezvous/internal/schedule"
+)
+
+// Theorem 6 of the paper proves Rs(n,k) ≥ αk by a pigeonhole
+// construction: partition the universe into disjoint k-sets, find in
+// each a channel hopped fewer than α times during the first αk−1 slots,
+// collect the (padded) slot-sets A_i of those rare channels, find k
+// partition blocks sharing the same A, and observe that the schedule of
+// the set assembled from their rare channels cannot meet all k blocks
+// inside A. This file makes the argument executable against any concrete
+// schedule family.
+
+// Family builds the family's schedule for a channel set (the paper's
+// Σ = (σ_S); anonymity means the function is the family).
+type Family func(channels []int) (schedule.Schedule, error)
+
+// T6Witness is the output of the Theorem-6 construction: a set and a
+// partner block that provably cannot rendezvous within Slots slots in
+// the synchronous model, under the audited family.
+type T6Witness struct {
+	SHat    []int // the assembled set of rare channels
+	Partner []int // the partition block it fails against
+	Shared  int   // their unique common channel
+	Slots   int   // the αk−1 horizon the pair misses
+}
+
+// Theorem6MinUniverse returns the smallest universe size the pigeonhole
+// needs for parameters (k, α): n/k > (k−1)·C(αk−1, α−1) blocks.
+func Theorem6MinUniverse(k, alpha int) int {
+	return k * ((k-1)*binomial(alpha*k-1, alpha-1) + 1)
+}
+
+func binomial(n, r int) int {
+	if r < 0 || r > n {
+		return 0
+	}
+	if r > n-r {
+		r = n - r
+	}
+	out := 1
+	for i := 0; i < r; i++ {
+		out = out * (n - i) / (i + 1)
+	}
+	return out
+}
+
+// Theorem6Witness runs the constructive lower-bound argument against a
+// schedule family and returns a pair of overlapping sets that do not
+// rendezvous synchronously within αk−1 slots. For any valid family such
+// a pair must exist once n ≥ Theorem6MinUniverse(k, α); an error is
+// returned when the universe is too small or the family errors.
+func Theorem6Witness(n, k, alpha int, fam Family) (*T6Witness, error) {
+	if k < 2 || alpha < 1 || alpha > k {
+		return nil, fmt.Errorf("lowerbound: need 2 ≤ k and 1 ≤ α ≤ k, got k=%d α=%d", k, alpha)
+	}
+	if min := Theorem6MinUniverse(k, alpha); n < min {
+		return nil, fmt.Errorf("lowerbound: theorem 6 needs n ≥ %d for k=%d α=%d, got %d", min, k, alpha, n)
+	}
+	T := alpha*k - 1
+
+	// Partition [n] into ⌊n/k⌋ disjoint blocks of size k.
+	type blockInfo struct {
+		set  []int
+		rare int   // channel appearing < α times in the first T slots
+		a    []int // padded slot-set A_i (size α−1... at least the rare slots)
+	}
+	var blocks []blockInfo
+	for b := 0; b+k <= n; b += k {
+		set := make([]int, k)
+		for i := range set {
+			set[i] = b + i + 1
+		}
+		s, err := fam(set)
+		if err != nil {
+			return nil, fmt.Errorf("lowerbound: family on %v: %w", set, err)
+		}
+		counts := make(map[int][]int)
+		for t := 0; t < T; t++ {
+			ch := s.Channel(t)
+			counts[ch] = append(counts[ch], t)
+		}
+		rare, slots := 0, []int(nil)
+		for _, ch := range set {
+			if len(counts[ch]) < alpha {
+				rare, slots = ch, counts[ch]
+				break
+			}
+		}
+		if rare == 0 {
+			// Impossible: k channels in T = αk−1 slots cannot all appear
+			// α times. Defensive against a broken family.
+			return nil, fmt.Errorf("lowerbound: no rare channel in block %v — family hops outside its set?", set)
+		}
+		// Pad the slot set to exactly α−1 slots deterministically.
+		pad := append([]int(nil), slots...)
+		for t := 0; t < T && len(pad) < alpha-1; t++ {
+			if !containsInt(pad, t) {
+				pad = append(pad, t)
+			}
+		}
+		sort.Ints(pad)
+		blocks = append(blocks, blockInfo{set: set, rare: rare, a: pad})
+	}
+
+	// Group blocks by their padded slot-set.
+	groups := make(map[string][]int)
+	for i, b := range blocks {
+		key := fmt.Sprint(b.a)
+		groups[key] = append(groups[key], i)
+	}
+	for _, idxs := range groups {
+		if len(idxs) < k {
+			continue
+		}
+		idxs = idxs[:k]
+		sHat := make([]int, 0, k)
+		for _, i := range idxs {
+			sHat = append(sHat, blocks[i].rare)
+		}
+		sort.Ints(sHat)
+		sigmaHat, err := fam(sHat)
+		if err != nil {
+			return nil, fmt.Errorf("lowerbound: family on assembled set %v: %w", sHat, err)
+		}
+		// One of the k blocks must be missed within T slots.
+		for _, i := range idxs {
+			partner, err := fam(blocks[i].set)
+			if err != nil {
+				return nil, err
+			}
+			met := false
+			for t := 0; t < T && !met; t++ {
+				met = sigmaHat.Channel(t) == partner.Channel(t)
+			}
+			if !met {
+				return &T6Witness{
+					SHat:    sHat,
+					Partner: append([]int(nil), blocks[i].set...),
+					Shared:  blocks[i].rare,
+					Slots:   T,
+				}, nil
+			}
+		}
+		// All k blocks met inside A — contradicts |A| = α−1 < k unless
+		// some rendezvous happened outside the rare slots via another
+		// shared channel; disjoint blocks make that impossible, so:
+		return nil, fmt.Errorf("lowerbound: pigeonhole group met all partners — argument violated, family is inconsistent")
+	}
+	return nil, fmt.Errorf("lowerbound: no k blocks shared a slot-set (unexpected at n=%d)", n)
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"rendezvous/internal/schedule"
+)
+
+func generalFamily(n int) Family {
+	return func(channels []int) (schedule.Schedule, error) {
+		return schedule.NewGeneral(n, channels)
+	}
+}
+
+func TestTheorem6MinUniverse(t *testing.T) {
+	// k=2, α=2: blocks must exceed (k−1)·C(3,1) = 3 ⇒ 4 blocks ⇒ n = 8.
+	if got := Theorem6MinUniverse(2, 2); got != 8 {
+		t.Errorf("Theorem6MinUniverse(2,2) = %d, want 8", got)
+	}
+	// k=2, α=1: C(1,0) = 1 ⇒ 2 blocks ⇒ n = 4.
+	if got := Theorem6MinUniverse(2, 1); got != 4 {
+		t.Errorf("Theorem6MinUniverse(2,1) = %d, want 4", got)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := [][3]int{{3, 1, 3}, {5, 2, 10}, {7, 0, 1}, {4, 4, 1}, {4, 5, 0}, {6, 3, 20}}
+	for _, c := range cases {
+		if got := binomial(c[0], c[1]); got != c[2] {
+			t.Errorf("C(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+// TestTheorem6WitnessAgainstFlagship runs the paper's Theorem-6
+// construction against our own schedule family: it must produce a
+// concrete overlapping pair that misses rendezvous within αk−1 slots —
+// demonstrating the Ω(αk) synchronous lower bound is real, and that our
+// O(kℓ·loglog n) schedule does not magically beat it.
+func TestTheorem6WitnessAgainstFlagship(t *testing.T) {
+	for _, tc := range []struct{ n, k, alpha int }{
+		{8, 2, 2},
+		{16, 2, 2},
+		{30, 3, 1},
+	} {
+		w, err := Theorem6Witness(tc.n, tc.k, tc.alpha, generalFamily(tc.n))
+		if err != nil {
+			t.Fatalf("n=%d k=%d α=%d: %v", tc.n, tc.k, tc.alpha, err)
+		}
+		if len(w.SHat) != tc.k {
+			t.Fatalf("witness set size %d, want %d", len(w.SHat), tc.k)
+		}
+		if w.Slots != tc.alpha*tc.k-1 {
+			t.Fatalf("witness horizon %d, want %d", w.Slots, tc.alpha*tc.k-1)
+		}
+		// Independently confirm the miss.
+		fam := generalFamily(tc.n)
+		a, err := fam(w.SHat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fam(w.Partner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < w.Slots; s++ {
+			if a.Channel(s) == b.Channel(s) {
+				t.Fatalf("witness pair %v/%v actually met at slot %d", w.SHat, w.Partner, s)
+			}
+		}
+		// The shared channel must really be shared.
+		if !containsInt(w.SHat, w.Shared) || !containsInt(w.Partner, w.Shared) {
+			t.Fatalf("witness shared channel %d not common to %v and %v", w.Shared, w.SHat, w.Partner)
+		}
+	}
+}
+
+func TestTheorem6WitnessErrors(t *testing.T) {
+	if _, err := Theorem6Witness(4, 2, 2, generalFamily(4)); err == nil {
+		t.Error("universe below threshold: expected error")
+	}
+	if _, err := Theorem6Witness(8, 1, 1, generalFamily(8)); err == nil {
+		t.Error("k=1: expected error")
+	}
+	if _, err := Theorem6Witness(8, 2, 3, generalFamily(8)); err == nil {
+		t.Error("α>k: expected error")
+	}
+	broken := func([]int) (schedule.Schedule, error) {
+		return schedule.NewConstant(99), nil // hops outside every set
+	}
+	if _, err := Theorem6Witness(8, 2, 2, broken); err == nil {
+		t.Error("family hopping outside its set: expected error")
+	}
+}

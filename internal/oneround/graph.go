@@ -1,0 +1,195 @@
+// Package oneround implements the appendix of Chen et al. (ICDCS 2014):
+// maximizing the number of agent pairs that rendezvous in a single
+// round, in the "graphical" case where every channel set has size two.
+//
+// Agents are edges over channel vertices; an agent's one-shot decision
+// orients its edge toward the channel it hops. Two agents rendezvous iff
+// their arcs point at a common head — an "in-pair". The package provides
+// the 0.25-approximate random orientation, an exact brute-force optimum
+// for small instances, and the paper's 0.439-approximation: a
+// Goemans-Williamson-style semidefinite relaxation over edge vectors,
+// solved with a Burer–Monteiro low-rank ascent (DESIGN.md records this
+// solver substitution) and rounded with random hyperplanes plus the
+// orientation-flip trick.
+package oneround
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is a multigraph of channel vertices (1-based) and agent edges.
+// Parallel edges are allowed: distinct agents may hold the same channel
+// pair. Self-loops are not (a size-two set has distinct channels).
+type Graph struct {
+	vertices int
+	edges    [][2]int
+}
+
+// NewGraph validates and builds a graph. Edge endpoints must lie in
+// [1, vertices] and differ.
+func NewGraph(vertices int, edges [][2]int) (*Graph, error) {
+	if vertices < 1 {
+		return nil, fmt.Errorf("oneround: need at least one vertex, got %d", vertices)
+	}
+	cp := make([][2]int, len(edges))
+	for i, e := range edges {
+		if e[0] < 1 || e[0] > vertices || e[1] < 1 || e[1] > vertices {
+			return nil, fmt.Errorf("oneround: edge %d endpoints %v outside [1,%d]", i, e, vertices)
+		}
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("oneround: edge %d is a self-loop at %d", i, e[0])
+		}
+		cp[i] = e
+	}
+	return &Graph{vertices: vertices, edges: cp}, nil
+}
+
+// Vertices returns the number of channel vertices.
+func (g *Graph) Vertices() int { return g.vertices }
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// NumEdges returns the number of agents.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Orientation assigns each edge a direction: +1 keeps the stored
+// direction (head = e[1]), −1 flips it (head = e[0]).
+type Orientation []int8
+
+// head returns the vertex edge e points to under o.
+func (g *Graph) head(e int, o Orientation) int {
+	if o[e] >= 0 {
+		return g.edges[e][1]
+	}
+	return g.edges[e][0]
+}
+
+// InPairs counts unordered pairs of agents that rendezvous: pairs of
+// edges with a common head. Equivalently Σ_v C(indeg(v), 2).
+func (g *Graph) InPairs(o Orientation) int {
+	if len(o) != len(g.edges) {
+		panic(fmt.Sprintf("oneround: orientation size %d, want %d", len(o), len(g.edges)))
+	}
+	indeg := make([]int, g.vertices+1)
+	for e := range g.edges {
+		indeg[g.head(e, o)]++
+	}
+	total := 0
+	for _, d := range indeg {
+		total += d * (d - 1) / 2
+	}
+	return total
+}
+
+// Flip returns the orientation with every edge reversed.
+func (o Orientation) Flip() Orientation {
+	out := make(Orientation, len(o))
+	for i, v := range o {
+		out[i] = -v
+	}
+	return out
+}
+
+// RandomOrientation orients each edge independently at random: the
+// appendix's 0.25-approximation (each incident pair points inward with
+// probability 1/4).
+func RandomOrientation(g *Graph, rng *rand.Rand) Orientation {
+	o := make(Orientation, g.NumEdges())
+	for i := range o {
+		if rng.Intn(2) == 0 {
+			o[i] = 1
+		} else {
+			o[i] = -1
+		}
+	}
+	return o
+}
+
+// BestRandom draws trials random orientations and returns the best.
+func BestRandom(g *Graph, rng *rand.Rand, trials int) (Orientation, int) {
+	var best Orientation
+	bestVal := -1
+	for i := 0; i < trials; i++ {
+		o := RandomOrientation(g, rng)
+		if v := g.InPairs(o); v > bestVal {
+			best, bestVal = o, v
+		}
+	}
+	return best, bestVal
+}
+
+// OptimalInPairs exhaustively searches all 2^m orientations; it reports
+// an error above 24 edges (16M orientations) to protect callers.
+func (g *Graph) OptimalInPairs() (int, Orientation, error) {
+	m := g.NumEdges()
+	if m > 24 {
+		return 0, nil, fmt.Errorf("oneround: brute force limited to 24 edges, got %d", m)
+	}
+	bestVal := -1
+	var best Orientation
+	o := make(Orientation, m)
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		for e := 0; e < m; e++ {
+			if mask>>uint(e)&1 == 0 {
+				o[e] = 1
+			} else {
+				o[e] = -1
+			}
+		}
+		if v := g.InPairs(o); v > bestVal {
+			bestVal = v
+			best = append(Orientation(nil), o...)
+		}
+	}
+	return bestVal, best, nil
+}
+
+// IncidentPairs returns the unordered pairs of edges sharing at least
+// one vertex, along with the sign sgn(e,f) of the appendix's SDP: +1
+// when, under the stored orientations, the two edges form an in-pair or
+// out-pair at a shared vertex, −1 for a cross-pair. Parallel edges
+// (sharing both vertices) contribute one entry per shared vertex, which
+// makes the relaxation count their in-pair and out-pair just as the
+// objective Σ_v C(indeg,2) + Σ_v C(outdeg,2) does.
+func (g *Graph) IncidentPairs() []IncidentPair {
+	var out []IncidentPair
+	for e := 0; e < len(g.edges); e++ {
+		for f := e + 1; f < len(g.edges); f++ {
+			for _, w := range sharedVertices(g.edges[e], g.edges[f]) {
+				sign := headSign(g.edges[e], w) * headSign(g.edges[f], w)
+				out = append(out, IncidentPair{E: e, F: f, Sign: float64(sign)})
+			}
+		}
+	}
+	return out
+}
+
+// IncidentPair is one term of the SDP objective.
+type IncidentPair struct {
+	E, F int
+	Sign float64
+}
+
+func sharedVertices(a, b [2]int) []int {
+	var out []int
+	for _, x := range a {
+		if x == b[0] || x == b[1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// headSign is +1 if the stored direction of e points at w, −1 otherwise.
+func headSign(e [2]int, w int) int {
+	if e[1] == w {
+		return 1
+	}
+	return -1
+}

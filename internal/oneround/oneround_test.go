@@ -1,0 +1,224 @@
+package oneround
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustGraph(t *testing.T, v int, edges [][2]int) *Graph {
+	t.Helper()
+	g, err := NewGraph(v, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestInPairsCounting(t *testing.T) {
+	// Star with 3 leaves: edges all stored pointing at the hub (vertex 1).
+	g := mustGraph(t, 4, [][2]int{{2, 1}, {3, 1}, {4, 1}})
+	all := Orientation{1, 1, 1}
+	if got := g.InPairs(all); got != 3 {
+		t.Errorf("all-in star InPairs = %d, want 3", got)
+	}
+	if got := g.InPairs(all.Flip()); got != 0 {
+		t.Errorf("all-out star InPairs = %d, want 0", got)
+	}
+	mixed := Orientation{1, 1, -1}
+	if got := g.InPairs(mixed); got != 1 {
+		t.Errorf("mixed star InPairs = %d, want 1", got)
+	}
+}
+
+func TestInPairsParallelEdges(t *testing.T) {
+	// Two agents with the same channel pair rendezvous iff they point the
+	// same way.
+	g := mustGraph(t, 2, [][2]int{{1, 2}, {1, 2}})
+	if got := g.InPairs(Orientation{1, 1}); got != 1 {
+		t.Errorf("aligned parallel edges InPairs = %d, want 1", got)
+	}
+	if got := g.InPairs(Orientation{1, -1}); got != 0 {
+		t.Errorf("opposed parallel edges InPairs = %d, want 0", got)
+	}
+}
+
+func TestOptimalInPairsSmall(t *testing.T) {
+	// Triangle: one vertex can receive 2 arcs -> 1 in-pair is optimal.
+	tri := mustGraph(t, 3, [][2]int{{1, 2}, {2, 3}, {3, 1}})
+	opt, o, err := tri.OptimalInPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 1 {
+		t.Errorf("triangle OPT = %d, want 1", opt)
+	}
+	if tri.InPairs(o) != opt {
+		t.Error("returned orientation does not achieve OPT")
+	}
+
+	// Star K_{1,4}: all arcs to the hub -> C(4,2) = 6.
+	star, err := Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err = star.OptimalInPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 6 {
+		t.Errorf("star OPT = %d, want 6", opt)
+	}
+}
+
+func TestOptimalRejectsLargeGraphs(t *testing.T) {
+	edges := make([][2]int, 25)
+	for i := range edges {
+		edges[i] = [2]int{1, 2}
+	}
+	g := mustGraph(t, 2, edges)
+	if _, _, err := g.OptimalInPairs(); err == nil {
+		t.Error("expected brute-force size error")
+	}
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(0, nil); err == nil {
+		t.Error("zero vertices: expected error")
+	}
+	if _, err := NewGraph(3, [][2]int{{1, 4}}); err == nil {
+		t.Error("endpoint out of range: expected error")
+	}
+	if _, err := NewGraph(3, [][2]int{{2, 2}}); err == nil {
+		t.Error("self-loop: expected error")
+	}
+}
+
+// TestSDPBeatsApproximationGuarantee verifies the 0.439 bound (and in
+// practice near-optimality) of the SDP pipeline against brute force on a
+// zoo of small graphs.
+func TestSDPBeatsApproximationGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	graphs := []*Graph{
+		mustGraph(t, 3, [][2]int{{1, 2}, {2, 3}, {3, 1}}),
+		mustGraph(t, 2, [][2]int{{1, 2}, {1, 2}, {1, 2}}),
+		mustGraph(t, 5, [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 1}, {1, 3}, {2, 4}}),
+	}
+	if s, err := Star(6); err == nil {
+		graphs = append(graphs, s)
+	} else {
+		t.Fatal(err)
+	}
+	if c, err := Cycle(6); err == nil {
+		graphs = append(graphs, c)
+	} else {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		g, err := ErdosRenyi(rng, 6, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumEdges() <= 14 {
+			graphs = append(graphs, g)
+		}
+	}
+	for gi, g := range graphs {
+		opt, _, err := g.OptimalInPairs()
+		if err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		res, err := SolveOneRound(g, SDPOptions{Seed: int64(gi)})
+		if err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		if g.InPairs(res.Orientation) != res.InPairs {
+			t.Fatalf("graph %d: reported InPairs inconsistent", gi)
+		}
+		if float64(res.InPairs) < 0.439*float64(opt) {
+			t.Errorf("graph %d (m=%d): SDP got %d < 0.439·OPT (OPT=%d)", gi, g.NumEdges(), res.InPairs, opt)
+		}
+	}
+}
+
+// TestRandomOrientationQuarterBound: the best of 64 random orientations
+// reaches 0.25·OPT on every test graph (its expectation is 0.25 of ALL
+// incident pairs ≥ 0.25·OPT).
+func TestRandomOrientationQuarterBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 6; trial++ {
+		g, err := ErdosRenyi(rng, 6, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumEdges() > 14 {
+			continue
+		}
+		opt, _, err := g.OptimalInPairs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, best := BestRandom(g, rng, 64)
+		if float64(best) < 0.25*float64(opt) {
+			t.Errorf("best-of-64 random %d < 0.25·OPT (OPT=%d)", best, opt)
+		}
+	}
+}
+
+func TestSDPOnStarFindsAllIn(t *testing.T) {
+	// The star is the case where random orientation is weakest
+	// (E[random] = k(k−1)/8) while the optimum k(k−1)/2 is reachable by
+	// pointing everything at the hub; the SDP pipeline must find it.
+	star, err := Star(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveOneRound(star, SDPOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 8 * 7 / 2; res.InPairs != want {
+		t.Errorf("star InPairs = %d, want %d", res.InPairs, want)
+	}
+}
+
+func TestSolveOneRoundErrors(t *testing.T) {
+	g := mustGraph(t, 2, nil)
+	if _, err := SolveOneRound(g, SDPOptions{}); err == nil {
+		t.Error("no edges: expected error")
+	}
+}
+
+func TestIncidentPairsSigns(t *testing.T) {
+	// Path 1→2→3 stored as (1,2),(2,3): at shared vertex 2, edge 0 points
+	// in (+1) and edge 1 points out (−1): a cross pair, sign −1.
+	g := mustGraph(t, 3, [][2]int{{1, 2}, {2, 3}})
+	pairs := g.IncidentPairs()
+	if len(pairs) != 1 || pairs[0].Sign != -1 {
+		t.Fatalf("pairs = %+v, want one cross pair", pairs)
+	}
+	// Two edges stored pointing at the shared vertex: in/in, sign +1.
+	g = mustGraph(t, 3, [][2]int{{1, 2}, {3, 2}})
+	pairs = g.IncidentPairs()
+	if len(pairs) != 1 || pairs[0].Sign != 1 {
+		t.Fatalf("pairs = %+v, want one aligned pair", pairs)
+	}
+	// Parallel edges: two shared vertices, both signs +1 when stored
+	// identically.
+	g = mustGraph(t, 2, [][2]int{{1, 2}, {1, 2}})
+	pairs = g.IncidentPairs()
+	if len(pairs) != 2 || pairs[0].Sign != 1 || pairs[1].Sign != 1 {
+		t.Fatalf("parallel pairs = %+v", pairs)
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := mustGraph(t, 3, [][2]int{{1, 2}})
+	if g.Vertices() != 3 || g.NumEdges() != 1 {
+		t.Error("accessor mismatch")
+	}
+	e := g.Edges()
+	e[0][0] = 99
+	if g.Edges()[0][0] == 99 {
+		t.Error("Edges leaked internal state")
+	}
+}

@@ -1,0 +1,224 @@
+package oneround
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SDPOptions tunes the Burer–Monteiro solver and the rounding stage.
+// The zero value selects sensible defaults.
+type SDPOptions struct {
+	Rank       int // vector dimension r (0 → min(12, ⌈√(2m)⌉+1))
+	Iterations int // gradient ascent steps (0 → 600)
+	Restarts   int // random restarts of the ascent (0 → 3)
+	Rounds     int // random hyperplanes tried during rounding (0 → 64)
+	Seed       int64
+}
+
+func (o SDPOptions) withDefaults(m int) SDPOptions {
+	if o.Rank == 0 {
+		r := int(math.Ceil(math.Sqrt(float64(2*m)))) + 1
+		if r > 12 {
+			r = 12
+		}
+		if r < 3 {
+			r = 3
+		}
+		o.Rank = r
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 600
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 3
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 64
+	}
+	return o
+}
+
+// SDPResult reports the outcome of the 0.439-approximation pipeline.
+type SDPResult struct {
+	Orientation Orientation
+	InPairs     int
+	// RelaxationValue is the achieved value of the SDP objective
+	// Σ (1 + sgn·⟨x_e,x_f⟩)/2 (in-pairs + out-pairs relaxation); it lower
+	// bounds the true SDP optimum and, at convergence, closely tracks
+	// max(in+out), which is at least the maximum number of in-pairs.
+	RelaxationValue float64
+}
+
+// SolveOneRound runs the appendix pipeline: solve the edge-vector SDP by
+// projected gradient ascent, round with random hyperplanes, evaluate
+// both the rounded orientation and its flip, and return the best
+// orientation found.
+func SolveOneRound(g *Graph, opts SDPOptions) (SDPResult, error) {
+	m := g.NumEdges()
+	if m == 0 {
+		return SDPResult{}, fmt.Errorf("oneround: graph has no edges")
+	}
+	opts = opts.withDefaults(m)
+	pairs := g.IncidentPairs()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	bestVecs := make([][]float64, 0)
+	bestObj := math.Inf(-1)
+	for restart := 0; restart < opts.Restarts; restart++ {
+		vecs := randomUnitVectors(rng, m, opts.Rank)
+		ascend(vecs, pairs, opts.Iterations)
+		if obj := dotObjective(vecs, pairs); obj > bestObj {
+			bestObj = obj
+			bestVecs = vecs
+		}
+	}
+
+	res := SDPResult{RelaxationValue: float64(len(pairs))/2 + bestObj/2}
+	bestIn := -1
+	for round := 0; round < opts.Rounds; round++ {
+		o := roundHyperplane(bestVecs, rng)
+		for _, cand := range []Orientation{o, o.Flip()} {
+			if v := g.InPairs(cand); v > bestIn {
+				bestIn = v
+				res.Orientation = append(Orientation(nil), cand...)
+			}
+		}
+	}
+	res.InPairs = bestIn
+	return res, nil
+}
+
+// randomUnitVectors draws m unit vectors in R^rank.
+func randomUnitVectors(rng *rand.Rand, m, rank int) [][]float64 {
+	vecs := make([][]float64, m)
+	for i := range vecs {
+		v := make([]float64, rank)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		normalize(v)
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// ascend maximizes Σ sgn_ef·⟨x_e,x_f⟩ over unit vectors by projected
+// gradient ascent with a diminishing step size.
+func ascend(vecs [][]float64, pairs []IncidentPair, iters int) {
+	if len(vecs) == 0 {
+		return
+	}
+	rank := len(vecs[0])
+	grads := make([][]float64, len(vecs))
+	for i := range grads {
+		grads[i] = make([]float64, rank)
+	}
+	for it := 0; it < iters; it++ {
+		for i := range grads {
+			for j := range grads[i] {
+				grads[i][j] = 0
+			}
+		}
+		for _, p := range pairs {
+			for j := 0; j < rank; j++ {
+				grads[p.E][j] += p.Sign * vecs[p.F][j]
+				grads[p.F][j] += p.Sign * vecs[p.E][j]
+			}
+		}
+		step := 0.5 / (1 + float64(it)/40)
+		for i := range vecs {
+			for j := 0; j < rank; j++ {
+				vecs[i][j] += step * grads[i][j]
+			}
+			normalize(vecs[i])
+		}
+	}
+}
+
+func dotObjective(vecs [][]float64, pairs []IncidentPair) float64 {
+	var sum float64
+	for _, p := range pairs {
+		sum += p.Sign * dot(vecs[p.E], vecs[p.F])
+	}
+	return sum
+}
+
+// roundHyperplane projects each vector onto a random Gaussian direction
+// and keeps or flips the edge by the sign of the projection.
+func roundHyperplane(vecs [][]float64, rng *rand.Rand) Orientation {
+	if len(vecs) == 0 {
+		return nil
+	}
+	dir := make([]float64, len(vecs[0]))
+	for j := range dir {
+		dir[j] = rng.NormFloat64()
+	}
+	o := make(Orientation, len(vecs))
+	for i, v := range vecs {
+		if dot(v, dir) >= 0 {
+			o[i] = 1
+		} else {
+			o[i] = -1
+		}
+	}
+	return o
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func normalize(v []float64) {
+	n := math.Sqrt(dot(v, v))
+	if n == 0 {
+		v[0] = 1
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// ErdosRenyi draws a G(v, p) instance (each possible edge independently
+// with probability p) for workload generation.
+func ErdosRenyi(rng *rand.Rand, vertices int, p float64) (*Graph, error) {
+	var edges [][2]int
+	for u := 1; u <= vertices; u++ {
+		for v := u + 1; v <= vertices; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	if len(edges) == 0 {
+		edges = append(edges, [2]int{1, 2})
+	}
+	return NewGraph(vertices, edges)
+}
+
+// Star returns the star graph K_{1,k}: the worst case for random
+// orientation (all pairs share the hub).
+func Star(k int) (*Graph, error) {
+	edges := make([][2]int, k)
+	for i := range edges {
+		edges[i] = [2]int{1, i + 2}
+	}
+	return NewGraph(k+1, edges)
+}
+
+// Cycle returns the cycle graph C_k.
+func Cycle(k int) (*Graph, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("oneround: cycle needs ≥3 vertices, got %d", k)
+	}
+	edges := make([][2]int, k)
+	for i := 0; i < k; i++ {
+		edges[i] = [2]int{i + 1, (i+1)%k + 1}
+	}
+	return NewGraph(k, edges)
+}

@@ -1,0 +1,141 @@
+// Package pairsched implements Theorem 1 of Chen et al. (ICDCS 2014):
+// channel-hopping schedules for agents whose channel sets have size two,
+// guaranteeing rendezvous in O(log log n) slots.
+//
+// A size-two set {α < β} is treated as a directed edge of the linear
+// poset Lₙ and assigned the color x = χ(α,β) of the 2-Ramsey coloring
+// (package ramsey). The schedule is then a binary word interpreted as
+// "0 ⇒ hop α, 1 ⇒ hop β":
+//
+//   - synchronous model: the word C(x) = 01 ∘ x ∘ x̄, replayed cyclically
+//     (rendezvous is guaranteed inside the first period when both agents
+//     start at slot 0). The paper also sketches a leaner
+//     C(x) = 01 ∘ x ∘ wt(x)₂; as stated that variant admits pairs with
+//     wt(x)=0, wt(y)=1 whose words never realize the (1,0) tuple (e.g.
+//     n=4, sets {2,3} and {3,4}), so this package uses the first,
+//     provably correct mapping — see DESIGN.md;
+//   - asynchronous model: the cyclic word R(x) from package catalan,
+//     whose balanced/strictly-Catalan/2-maximal structure guarantees the
+//     lockstep conditions ◇₀ and ◇₁ under every pair of rotations.
+//
+// Word lengths depend only on n, never on the particular pair — the
+// epoch construction of Theorem 3 requires this.
+package pairsched
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rendezvous/internal/bitstring"
+	"rendezvous/internal/catalan"
+	"rendezvous/internal/ramsey"
+)
+
+// ColorWidth returns the fixed number of bits used to encode a 2-Ramsey
+// color for universe size n.
+func ColorWidth(n int) int {
+	p := ramsey.PaletteSize(n)
+	if p <= 1 {
+		return 1
+	}
+	return bits.Len(uint(p - 1))
+}
+
+// colorBits returns the fixed-width encoding of the pair's color.
+func colorBits(n, a, b int) (bitstring.String, error) {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	c, err := ramsey.Color(lo, hi, n)
+	if err != nil {
+		return bitstring.String{}, err
+	}
+	return bitstring.MustFromUint(uint64(c), ColorWidth(n)), nil
+}
+
+// SyncWordLen returns |SyncWord| for universe size n: 2 + 2w where
+// w = ColorWidth(n). This is the paper's O(log log n) synchronous
+// rendezvous bound.
+func SyncWordLen(n int) int { return 2 + 2*ColorWidth(n) }
+
+// SyncWord returns the synchronous schedule word C(x) = 01 ∘ x ∘ x̄ for
+// the pair {a,b} ⊆ [n]: the 01 prefix realizes (0,0) and (1,1) against
+// every other word, and for x ≠ y some coordinate of the bodies plus its
+// complement realizes both (0,1) and (1,0).
+func SyncWord(n, a, b int) (bitstring.String, error) {
+	x, err := colorBits(n, a, b)
+	if err != nil {
+		return bitstring.String{}, err
+	}
+	return bitstring.Concat(bitstring.MustParse("01"), x, x.Complement()), nil
+}
+
+// WordLen returns |Word| for universe size n: the length of the
+// asynchronous cyclic word R(x). It grows as O(log log n).
+func WordLen(n int) int { return catalan.EncodeLen(ColorWidth(n)) }
+
+// Word returns the asynchronous cyclic schedule word R(χ(a,b)₂) for the
+// pair {a,b} ⊆ [n].
+func Word(n, a, b int) (bitstring.String, error) {
+	x, err := colorBits(n, a, b)
+	if err != nil {
+		return bitstring.String{}, err
+	}
+	return catalan.Encode(x), nil
+}
+
+// WordForColor returns R(x₂) for an explicit palette color; Theorem 3
+// uses this to precompute the words for all colors of a universe once.
+func WordForColor(color, n int) (bitstring.String, error) {
+	if color < 0 || color >= ramsey.PaletteSize(n) {
+		return bitstring.String{}, fmt.Errorf("pairsched: color %d outside palette [0,%d)", color, ramsey.PaletteSize(n))
+	}
+	return catalan.Encode(bitstring.MustFromUint(uint64(color), ColorWidth(n))), nil
+}
+
+// Pair is the asynchronous Theorem-1 schedule for a channel set of size
+// two. It implements the Schedule contract used across this repository
+// (Channel, Period, Channels).
+type Pair struct {
+	n      int
+	lo, hi int
+	word   bitstring.String
+}
+
+// New constructs the asynchronous pair schedule for {a,b} ⊆ [n], a ≠ b.
+func New(n, a, b int) (*Pair, error) {
+	if a == b {
+		return nil, fmt.Errorf("pairsched: channels must be distinct, got {%d,%d}", a, b)
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	word, err := Word(n, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{n: n, lo: lo, hi: hi, word: word}, nil
+}
+
+// Channel returns the channel hopped at slot t ≥ 0.
+func (p *Pair) Channel(t int) int {
+	if p.word.Bit(t%p.word.Len()) == 0 {
+		return p.lo
+	}
+	return p.hi
+}
+
+// Period returns the cyclic period of the schedule, |R| = O(log log n).
+func (p *Pair) Period() int { return p.word.Len() }
+
+// Channels returns the two channels as a fresh slice {lo, hi}.
+func (p *Pair) Channels() []int { return []int{p.lo, p.hi} }
+
+// Word returns the underlying cyclic word (a copy is unnecessary:
+// bitstring.String transforms never mutate).
+func (p *Pair) Word() bitstring.String { return p.word }
+
+// Universe returns the n this pair schedule was built for.
+func (p *Pair) Universe() int { return p.n }

@@ -1,0 +1,219 @@
+package pairsched
+
+import (
+	"testing"
+
+	"rendezvous/internal/bitstring"
+)
+
+// overlap enumerates the relationship between two overlapping size-two
+// sets for test reporting.
+func sharedChannel(a0, a1, b0, b1 int) (int, bool) {
+	for _, x := range []int{a0, a1} {
+		for _, y := range []int{b0, b1} {
+			if x == y {
+				return x, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// TestSyncWordRendezvous exhaustively verifies the synchronous model for
+// small n: any two overlapping pairs, started at the same slot, hop a
+// common channel within SyncWordLen(n) slots.
+func TestSyncWordRendezvous(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8, 16, 33} {
+		wordLen := SyncWordLen(n)
+		// Precompute all pair words.
+		words := make(map[[2]int]bitstring.String)
+		for a := 1; a <= n; a++ {
+			for b := a + 1; b <= n; b++ {
+				w, err := SyncWord(n, a, b)
+				if err != nil {
+					t.Fatalf("SyncWord(%d,%d,%d): %v", n, a, b, err)
+				}
+				if w.Len() != wordLen {
+					t.Fatalf("n=%d: |C| = %d, want %d", n, w.Len(), wordLen)
+				}
+				words[[2]int{a, b}] = w
+			}
+		}
+		for pa, wa := range words {
+			for pb, wb := range words {
+				c, ok := sharedChannel(pa[0], pa[1], pb[0], pb[1])
+				if !ok {
+					continue
+				}
+				found := false
+				for s := 0; s < wordLen && !found; s++ {
+					chA := pa[0]
+					if wa.Bit(s) == 1 {
+						chA = pa[1]
+					}
+					chB := pb[0]
+					if wb.Bit(s) == 1 {
+						chB = pb[1]
+					}
+					found = chA == chB
+				}
+				if !found {
+					t.Fatalf("n=%d: pairs %v and %v (shared %d) never meet synchronously", n, pa, pb, c)
+				}
+			}
+		}
+	}
+}
+
+// TestAsyncPairRendezvousExhaustive is the heart of Theorem 1: for every
+// pair of overlapping size-two subsets of [n] and EVERY relative cyclic
+// offset, the two agents meet within one word length.
+func TestAsyncPairRendezvousExhaustive(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8, 16, 24} {
+		period := WordLen(n)
+		var pairs []*Pair
+		for a := 1; a <= n; a++ {
+			for b := a + 1; b <= n; b++ {
+				p, err := New(n, a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p.Period() != period {
+					t.Fatalf("n=%d: period %d, want %d", n, p.Period(), period)
+				}
+				pairs = append(pairs, p)
+			}
+		}
+		for _, pa := range pairs {
+			for _, pb := range pairs {
+				ca := pa.Channels()
+				cb := pb.Channels()
+				if _, ok := sharedChannel(ca[0], ca[1], cb[0], cb[1]); !ok {
+					continue
+				}
+				// All relative offsets matter only modulo the period.
+				for off := 0; off < period; off++ {
+					found := false
+					for s := 0; s < period && !found; s++ {
+						found = pa.Channel(s) == pb.Channel(s+off)
+					}
+					if !found {
+						t.Fatalf("n=%d: pairs %v and %v never meet at offset %d", n, ca, cb, off)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAsyncLargeNSampled spot-checks large universes where exhaustive
+// enumeration is infeasible: adversarial pair patterns (chains, shared
+// min, shared max, identical) across every offset.
+func TestAsyncLargeNSampled(t *testing.T) {
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20} {
+		period := WordLen(n)
+		cases := [][4]int{
+			{1, 2, 2, 3},             // path at small channels
+			{n - 2, n - 1, n - 1, n}, // path at large channels
+			{1, n, n, n - 1},         // path through extremes
+			{5, n, 5, n / 2},         // shared min
+			{n / 2, n, n - 1, n},     // shared max
+			{7, 9, 7, 9},             // identical sets
+			{1, 2, 1, 2},
+		}
+		for _, c := range cases {
+			pa, err := New(n, c[0], c[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			pb, err := New(n, c[2], c[3])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for off := 0; off < period; off++ {
+				found := false
+				for s := 0; s < period && !found; s++ {
+					found = pa.Channel(s) == pb.Channel(s+off)
+				}
+				if !found {
+					t.Fatalf("n=%d: pairs %v/%v no rendezvous at offset %d", n, c[:2], c[2:], off)
+				}
+			}
+		}
+	}
+}
+
+// TestWordLenIsLogLog pins the headline growth rate: the asynchronous
+// word length for n = 2^2^j grows linearly in j (log log n), and is tiny
+// even for astronomically large universes.
+func TestWordLenIsLogLog(t *testing.T) {
+	prev := 0
+	for _, n := range []int{4, 16, 256, 65536, 1 << 32} {
+		l := WordLen(n)
+		if l <= 0 {
+			t.Fatalf("WordLen(%d) = %d", n, l)
+		}
+		if l < prev {
+			t.Fatalf("WordLen not monotone at n=%d", n)
+		}
+		prev = l
+	}
+	if l := WordLen(1 << 62); l > 64 {
+		t.Errorf("WordLen(2^62) = %d; expected O(log log n) ≤ 64", l)
+	}
+}
+
+func TestNewRejectsBadPairs(t *testing.T) {
+	if _, err := New(8, 3, 3); err == nil {
+		t.Error("equal channels: expected error")
+	}
+	if _, err := New(8, 0, 3); err == nil {
+		t.Error("channel 0: expected error")
+	}
+	if _, err := New(8, 1, 9); err == nil {
+		t.Error("channel > n: expected error")
+	}
+}
+
+func TestWordForColor(t *testing.T) {
+	n := 100
+	w, err := Word(n, 17, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 17 = 10001₂, 49 = 110001₂; highest bit in 49∖17 is bit 5.
+	wc, err := WordForColor(5, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Equal(wc) {
+		t.Error("Word and WordForColor disagree")
+	}
+	if _, err := WordForColor(99, n); err == nil {
+		t.Error("out-of-palette color: expected error")
+	}
+}
+
+func TestChannelMapping(t *testing.T) {
+	p, err := New(16, 9, 4) // order-insensitive constructor
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := p.Channels()
+	if cs[0] != 4 || cs[1] != 9 {
+		t.Fatalf("Channels() = %v, want [4 9]", cs)
+	}
+	w := p.Word()
+	for s := 0; s < 3*p.Period(); s++ {
+		want := 4
+		if w.Bit(s%w.Len()) == 1 {
+			want = 9
+		}
+		if got := p.Channel(s); got != want {
+			t.Fatalf("Channel(%d) = %d, want %d", s, got, want)
+		}
+	}
+	if p.Universe() != 16 {
+		t.Errorf("Universe() = %d", p.Universe())
+	}
+}

@@ -1,0 +1,105 @@
+// Package primes provides the small amount of number theory the
+// Theorem-3 schedule of Chen et al. (ICDCS 2014) depends on: primality,
+// prime enumeration in an interval, the two-primes-in-[k,3k] selection,
+// and a Chinese-remainder solver for coprime moduli.
+package primes
+
+import "fmt"
+
+// IsPrime reports whether n is prime using deterministic trial division;
+// the schedules only ever test values up to a few times the channel-set
+// size, so trial division is ample.
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// InRange returns all primes p with lo ≤ p ≤ hi in increasing order.
+func InRange(lo, hi int) []int {
+	var out []int
+	for p := lo; p <= hi; p++ {
+		if IsPrime(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NextAtLeast returns the smallest prime ≥ n (n ≥ 0).
+func NextAtLeast(n int) int {
+	if n < 2 {
+		return 2
+	}
+	for p := n; ; p++ {
+		if IsPrime(p) {
+			return p
+		}
+	}
+}
+
+// TwoIn returns the two smallest distinct primes p < q in [k, 3k].
+// Theorem 3 relies on the fact that this interval always contains at
+// least two primes for k ≥ 1 (a Bertrand-type bound: there is a prime in
+// (k, 2k] and another in (2k−1, 4k−2] ∩ [k, 3k]); the function verifies
+// this at runtime and reports an error if the interval is deficient.
+func TwoIn(k int) (p, q int, err error) {
+	if k < 1 {
+		return 0, 0, fmt.Errorf("primes: k must be positive, got %d", k)
+	}
+	found := make([]int, 0, 2)
+	for v := k; v <= 3*k && len(found) < 2; v++ {
+		if IsPrime(v) {
+			found = append(found, v)
+		}
+	}
+	if len(found) < 2 {
+		return 0, 0, fmt.Errorf("primes: fewer than two primes in [%d,%d]", k, 3*k)
+	}
+	return found[0], found[1], nil
+}
+
+// CRT returns the smallest non-negative r with r ≡ a (mod p) and
+// r ≡ b (mod q). The moduli must be positive and coprime (in the
+// schedules they are distinct primes).
+func CRT(a, p, b, q int) (int, error) {
+	if p <= 0 || q <= 0 {
+		return 0, fmt.Errorf("primes: moduli must be positive, got %d, %d", p, q)
+	}
+	if g, _, _ := extendedGCD(p, q); g != 1 {
+		return 0, fmt.Errorf("primes: moduli %d and %d are not coprime", p, q)
+	}
+	a = mod(a, p)
+	b = mod(b, q)
+	// r = a + p·t with t ≡ (b−a)·p⁻¹ (mod q).
+	_, pInv, _ := extendedGCD(p, q)
+	t := mod((b-a)*mod(pInv, q), q)
+	return a + p*t, nil
+}
+
+// extendedGCD returns g = gcd(a, b) along with x, y such that
+// a·x + b·y = g.
+func extendedGCD(a, b int) (g, x, y int) {
+	if b == 0 {
+		return a, 1, 0
+	}
+	g, x1, y1 := extendedGCD(b, a%b)
+	return g, y1, x1 - (a/b)*y1
+}
+
+func mod(a, m int) int {
+	a %= m
+	if a < 0 {
+		a += m
+	}
+	return a
+}

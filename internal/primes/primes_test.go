@@ -1,0 +1,116 @@
+package primes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrime(t *testing.T) {
+	known := map[int]bool{
+		-7: false, 0: false, 1: false, 2: true, 3: true, 4: false,
+		5: true, 9: false, 25: false, 97: true, 91: false, 7919: true,
+		7921: false, // 89²
+	}
+	for n, want := range known {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestInRange(t *testing.T) {
+	got := InRange(10, 30)
+	want := []int{11, 13, 17, 19, 23, 29}
+	if len(got) != len(want) {
+		t.Fatalf("InRange(10,30) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("InRange(10,30) = %v, want %v", got, want)
+		}
+	}
+	if out := InRange(24, 28); out != nil {
+		t.Errorf("InRange(24,28) = %v, want empty", out)
+	}
+}
+
+func TestNextAtLeast(t *testing.T) {
+	cases := map[int]int{0: 2, 2: 2, 3: 3, 4: 5, 14: 17, 100: 101}
+	for n, want := range cases {
+		if got := NextAtLeast(n); got != want {
+			t.Errorf("NextAtLeast(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTwoInAllSmallK(t *testing.T) {
+	// Theorem 3 needs two distinct primes in [k,3k] for every channel-set
+	// size k; check every k a realistic schedule could see.
+	for k := 1; k <= 5000; k++ {
+		p, q, err := TwoIn(k)
+		if err != nil {
+			t.Fatalf("TwoIn(%d): %v", k, err)
+		}
+		if !(k <= p && p < q && q <= 3*k) {
+			t.Fatalf("TwoIn(%d) = (%d,%d) outside [k,3k]", k, p, q)
+		}
+		if !IsPrime(p) || !IsPrime(q) {
+			t.Fatalf("TwoIn(%d) = (%d,%d): not prime", k, p, q)
+		}
+	}
+}
+
+func TestTwoInRejectsNonPositive(t *testing.T) {
+	if _, _, err := TwoIn(0); err == nil {
+		t.Error("TwoIn(0): expected error")
+	}
+}
+
+func TestCRTSmall(t *testing.T) {
+	r, err := CRT(2, 3, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 8 {
+		t.Errorf("CRT(2 mod 3, 3 mod 5) = %d, want 8", r)
+	}
+}
+
+func TestCRTProperty(t *testing.T) {
+	pairs := [][2]int{{2, 3}, {3, 5}, {5, 7}, {7, 11}, {11, 13}, {3, 7}, {5, 11}}
+	f := func(a, b int16) bool {
+		for _, pq := range pairs {
+			p, q := pq[0], pq[1]
+			r, err := CRT(int(a), p, int(b), q)
+			if err != nil {
+				return false
+			}
+			if r < 0 || r >= p*q {
+				return false
+			}
+			am, bm := int(a)%p, int(b)%q
+			if am < 0 {
+				am += p
+			}
+			if bm < 0 {
+				bm += q
+			}
+			if r%p != am || r%q != bm {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRTErrors(t *testing.T) {
+	if _, err := CRT(1, 4, 1, 6); err == nil {
+		t.Error("CRT with non-coprime moduli: expected error")
+	}
+	if _, err := CRT(1, 0, 1, 3); err == nil {
+		t.Error("CRT with zero modulus: expected error")
+	}
+}

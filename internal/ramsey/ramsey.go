@@ -1,0 +1,53 @@
+// Package ramsey implements the 2-Ramsey edge coloring of the linear
+// poset Lₙ from Lemma 2 of Chen et al. (ICDCS 2014): a coloring of the
+// directed edges {(a,b) : 1 ≤ a < b ≤ n} with a palette of bitlen(n)
+// colors such that no directed path of length two is monochromatic.
+//
+// The coloring colors edge (a,b) with a bit position that is 1 in b and
+// 0 in a; such a position always exists when a < b. For a directed path
+// (a,b), (b,c) the colors differ: χ(a,b) is a 1-bit of b while χ(b,c),
+// being an element of X_c \ X_b, is a 0-bit of b.
+package ramsey
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// PaletteSize returns the number of colors used by Coloring for universe
+// size n: bitlen(n), the number of bits needed to write n in binary.
+// (The paper states log♯n = ⌈log₂n⌉; for channel values up to n the
+// bit-set argument requires ⌊log₂n⌋+1 positions, which differs only when
+// n is a power of two and affects only the constant inside O(log log n).)
+func PaletteSize(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return bits.Len(uint(n))
+}
+
+// Color returns the color of edge (a,b) in the 2-Ramsey coloring of Lₙ,
+// a value in {0, …, PaletteSize(n)−1}. It requires 1 ≤ a < b ≤ n.
+//
+// The color is the index (0 = least significant) of the highest bit that
+// is set in b and clear in a.
+func Color(a, b, n int) (int, error) {
+	if !(1 <= a && a < b && b <= n) {
+		return 0, fmt.Errorf("ramsey: need 1 ≤ a < b ≤ n, got a=%d b=%d n=%d", a, b, n)
+	}
+	diff := uint(b) &^ uint(a) // bits set in b but not a
+	if diff == 0 {
+		// Impossible for a < b; defensive.
+		return 0, fmt.Errorf("ramsey: no separating bit for a=%d b=%d", a, b)
+	}
+	return bits.Len(diff) - 1, nil
+}
+
+// MustColor is Color for arguments known to satisfy 1 ≤ a < b ≤ n.
+func MustColor(a, b, n int) int {
+	c, err := Color(a, b, n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,64 @@
+package ramsey
+
+import "testing"
+
+func TestPaletteSize(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 255: 8, 256: 9, 1024: 11}
+	for n, want := range cases {
+		if got := PaletteSize(n); got != want {
+			t.Errorf("PaletteSize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestColorWithinPalette(t *testing.T) {
+	const n = 300
+	for a := 1; a < n; a++ {
+		for b := a + 1; b <= n; b++ {
+			c, err := Color(a, b, n)
+			if err != nil {
+				t.Fatalf("Color(%d,%d): %v", a, b, err)
+			}
+			if c < 0 || c >= PaletteSize(n) {
+				t.Fatalf("Color(%d,%d) = %d outside palette [0,%d)", a, b, c, PaletteSize(n))
+			}
+			// The color must be a separating bit: set in b, clear in a.
+			if b>>uint(c)&1 != 1 || a>>uint(c)&1 != 0 {
+				t.Fatalf("Color(%d,%d) = %d is not a separating bit", a, b, c)
+			}
+		}
+	}
+}
+
+// TestNoMonochromaticPath exhaustively verifies Lemma 2: no directed path
+// a < b < c has χ(a,b) = χ(b,c).
+func TestNoMonochromaticPath(t *testing.T) {
+	const n = 128
+	for a := 1; a <= n; a++ {
+		for b := a + 1; b <= n; b++ {
+			ab := MustColor(a, b, n)
+			for c := b + 1; c <= n; c++ {
+				if bc := MustColor(b, c, n); ab == bc {
+					t.Fatalf("monochromatic path %d→%d→%d with color %d", a, b, c, ab)
+				}
+			}
+		}
+	}
+}
+
+func TestColorErrors(t *testing.T) {
+	for _, bad := range [][3]int{{0, 1, 4}, {2, 2, 4}, {3, 2, 4}, {1, 5, 4}} {
+		if _, err := Color(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("Color(%v): expected error", bad)
+		}
+	}
+}
+
+func TestMustColorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustColor(2, 2, 4)
+}

@@ -1,0 +1,87 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Phase is one segment of a Dynamic schedule: from slot FromSlot
+// (inclusive, in the agent's local clock) the agent has access to
+// exactly Channels.
+type Phase struct {
+	FromSlot int
+	Channels []int
+}
+
+// Dynamic models spectrum dynamics — the motivating reality of cognitive
+// radio: an incumbent appears and a channel set shrinks, or sensing
+// frees new channels. Each phase runs the flagship construction for its
+// channel set, restarted at the phase boundary; every guarantee holds
+// within a phase (rendezvous clocks restart at phase boundaries, which
+// is unavoidable: schedules may depend only on the current set).
+//
+// Period reports the steady-state period of the final phase; slots
+// before the final phase are transitional and do not repeat. Offset
+// sweeps should therefore treat Dynamic schedules with explicit
+// horizons.
+type Dynamic struct {
+	phases []Phase
+	scheds []Schedule
+}
+
+var _ Schedule = (*Dynamic)(nil)
+
+// NewDynamic builds a dynamic schedule over universe [n]. Phases must be
+// non-empty, start at slot 0, and have strictly increasing FromSlot.
+func NewDynamic(n int, phases []Phase) (*Dynamic, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("schedule: dynamic needs at least one phase")
+	}
+	if phases[0].FromSlot != 0 {
+		return nil, fmt.Errorf("schedule: first phase must start at slot 0, got %d", phases[0].FromSlot)
+	}
+	d := &Dynamic{}
+	for i, ph := range phases {
+		if i > 0 && ph.FromSlot <= phases[i-1].FromSlot {
+			return nil, fmt.Errorf("schedule: phase %d start %d not after %d", i, ph.FromSlot, phases[i-1].FromSlot)
+		}
+		s, err := NewAsync(n, ph.Channels)
+		if err != nil {
+			return nil, fmt.Errorf("schedule: phase %d: %w", i, err)
+		}
+		cp := Phase{FromSlot: ph.FromSlot, Channels: append([]int(nil), ph.Channels...)}
+		sort.Ints(cp.Channels)
+		d.phases = append(d.phases, cp)
+		d.scheds = append(d.scheds, s)
+	}
+	return d, nil
+}
+
+// phaseAt returns the index of the phase covering local slot t.
+func (d *Dynamic) phaseAt(t int) int {
+	i := sort.Search(len(d.phases), func(i int) bool { return d.phases[i].FromSlot > t })
+	return i - 1
+}
+
+// Channel implements Schedule.
+func (d *Dynamic) Channel(t int) int {
+	i := d.phaseAt(t)
+	return d.scheds[i].Channel(t - d.phases[i].FromSlot)
+}
+
+// Period implements Schedule in the steady-state sense documented on
+// Dynamic.
+func (d *Dynamic) Period() int { return d.scheds[len(d.scheds)-1].Period() }
+
+// Channels implements Schedule: the channel set of the final phase.
+func (d *Dynamic) Channels() []int {
+	return append([]int(nil), d.phases[len(d.phases)-1].Channels...)
+}
+
+// ChannelsAt returns the channel set in effect at local slot t.
+func (d *Dynamic) ChannelsAt(t int) []int {
+	return append([]int(nil), d.phases[d.phaseAt(t)].Channels...)
+}
+
+// NumPhases returns the number of phases.
+func (d *Dynamic) NumPhases() int { return len(d.phases) }

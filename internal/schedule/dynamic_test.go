@@ -1,0 +1,118 @@
+package schedule
+
+import "testing"
+
+func TestDynamicPhaseSwitching(t *testing.T) {
+	d, err := NewDynamic(16, []Phase{
+		{FromSlot: 0, Channels: []int{1, 2, 3}},
+		{FromSlot: 100, Channels: []int{7, 9}},
+		{FromSlot: 200, Channels: []int{9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := func(c int, set []int) bool {
+		for _, x := range set {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
+	for s := 0; s < 100; s++ {
+		if !in(d.Channel(s), []int{1, 2, 3}) {
+			t.Fatalf("slot %d hopped %d outside phase-0 set", s, d.Channel(s))
+		}
+	}
+	for s := 100; s < 200; s++ {
+		if !in(d.Channel(s), []int{7, 9}) {
+			t.Fatalf("slot %d hopped %d outside phase-1 set", s, d.Channel(s))
+		}
+	}
+	for s := 200; s < 300; s++ {
+		if d.Channel(s) != 9 {
+			t.Fatalf("slot %d hopped %d, want 9", s, d.Channel(s))
+		}
+	}
+	if d.NumPhases() != 3 {
+		t.Errorf("NumPhases = %d", d.NumPhases())
+	}
+	if got := d.Channels(); len(got) != 1 || got[0] != 9 {
+		t.Errorf("final Channels = %v", got)
+	}
+	if got := d.ChannelsAt(150); len(got) != 2 || got[0] != 7 {
+		t.Errorf("ChannelsAt(150) = %v", got)
+	}
+}
+
+// TestDynamicRendezvousAfterChannelLoss is the failure-injection story:
+// an incumbent takes channels away mid-run; two agents that re-plan on
+// their remaining sets still rendezvous, provided the sets still
+// overlap.
+func TestDynamicRendezvousAfterChannelLoss(t *testing.T) {
+	const n = 32
+	const change = 500
+	a, err := NewDynamic(n, []Phase{
+		{FromSlot: 0, Channels: []int{1, 5, 9, 13}},
+		{FromSlot: change, Channels: []int{5, 9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDynamic(n, []Phase{
+		{FromSlot: 0, Channels: []int{9, 21, 30}},
+		{FromSlot: change, Channels: []int{9, 30}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure rendezvous restricted to slots after the change: both
+	// agents woke simultaneously, so phases align.
+	inner := mustGeneralBound(t, n, []int{5, 9}, 2)
+	found := false
+	for s := change; s < change+12*inner+24 && !found; s++ {
+		found = a.Channel(s) == b.Channel(s)
+	}
+	if !found {
+		t.Fatal("no rendezvous after channel loss within the post-change bound")
+	}
+}
+
+func mustGeneralBound(t *testing.T, n int, set []int, otherK int) int {
+	t.Helper()
+	g, err := NewGeneral(n, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.RendezvousBound(otherK)
+}
+
+func TestDynamicValidation(t *testing.T) {
+	if _, err := NewDynamic(8, nil); err == nil {
+		t.Error("no phases: expected error")
+	}
+	if _, err := NewDynamic(8, []Phase{{FromSlot: 5, Channels: []int{1}}}); err == nil {
+		t.Error("first phase not at 0: expected error")
+	}
+	if _, err := NewDynamic(8, []Phase{
+		{FromSlot: 0, Channels: []int{1}},
+		{FromSlot: 0, Channels: []int{2}},
+	}); err == nil {
+		t.Error("non-increasing phases: expected error")
+	}
+	if _, err := NewDynamic(8, []Phase{{FromSlot: 0, Channels: []int{99}}}); err == nil {
+		t.Error("bad channels: expected error")
+	}
+}
+
+func TestDynamicDoesNotAliasCallerSlice(t *testing.T) {
+	set := []int{3, 1}
+	d, err := NewDynamic(8, []Phase{{FromSlot: 0, Channels: set}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set[0] = 7
+	if got := d.Channels(); got[0] != 1 || got[1] != 3 {
+		t.Errorf("Channels = %v, want [1 3]", got)
+	}
+}

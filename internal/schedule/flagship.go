@@ -1,0 +1,14 @@
+package schedule
+
+// NewAsync returns the paper's flagship construction: the Theorem-3
+// general schedule wrapped with the §3.2 symmetric reduction. Any two
+// agents with overlapping channel sets rendezvous asynchronously in
+// O(|A|·|B|·log log n) slots, and agents with identical sets rendezvous
+// in O(1) slots (at the set's smallest channel).
+func NewAsync(n int, channels []int) (*Symmetric, error) {
+	g, err := NewGeneral(n, channels)
+	if err != nil {
+		return nil, err
+	}
+	return NewSymmetric(g), nil
+}

@@ -1,0 +1,260 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// subsetsOf enumerates all non-empty subsets of {1..n} as sorted slices.
+func subsetsOf(n int) [][]int {
+	var out [][]int
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var s []int
+		for c := 1; c <= n; c++ {
+			if mask>>(uint(c)-1)&1 == 1 {
+				s = append(s, c)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func intersects(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// TestGeneralRendezvousExhaustiveN4 is the core Theorem-3 correctness
+// test: for n = 4, EVERY pair of overlapping subsets and EVERY wake
+// offset (offsets matter only modulo the earlier agent's period) meets
+// within the analytical bound.
+func TestGeneralRendezvousExhaustiveN4(t *testing.T) {
+	const n = 4
+	subsets := subsetsOf(n)
+	scheds := make([]*General, len(subsets))
+	for i, s := range subsets {
+		g, err := NewGeneral(n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheds[i] = g
+	}
+	for i, a := range subsets {
+		ga := scheds[i]
+		for j, b := range subsets {
+			if !intersects(a, b) {
+				continue
+			}
+			gb := scheds[j]
+			bound := ga.RendezvousBound(len(b))
+			for delta := 0; delta < ga.Period(); delta++ {
+				if _, ok := ttr(ga, gb, delta, bound); !ok {
+					t.Fatalf("sets %v and %v: no rendezvous at offset %d within %d slots", a, b, delta, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneralRendezvousSampledN6 samples offsets for n = 6 where the
+// offset space is too large for an exhaustive sweep.
+func TestGeneralRendezvousSampledN6(t *testing.T) {
+	const n = 6
+	rng := rand.New(rand.NewSource(42))
+	subsets := subsetsOf(n)
+	scheds := make(map[int]*General)
+	for i, s := range subsets {
+		g, err := NewGeneral(n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheds[i] = g
+	}
+	for i, a := range subsets {
+		ga := scheds[i]
+		for j, b := range subsets {
+			if !intersects(a, b) {
+				continue
+			}
+			gb := scheds[j]
+			bound := ga.RendezvousBound(len(b))
+			// Dense small offsets (epoch boundaries are the tricky part)
+			// plus random large ones across the period.
+			offsets := make([]int, 0, 96)
+			for d := 0; d < 64; d++ {
+				offsets = append(offsets, d)
+			}
+			for r := 0; r < 32; r++ {
+				offsets = append(offsets, rng.Intn(ga.Period()))
+			}
+			for _, delta := range offsets {
+				if _, ok := ttr(ga, gb, delta, bound); !ok {
+					t.Fatalf("sets %v and %v: no rendezvous at offset %d within %d slots", a, b, delta, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneralRendezvousLargeN spot-checks realistic universes with
+// randomized overlapping sets and offsets against the analytical bound.
+func TestGeneralRendezvousLargeN(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{64, 256, 1024} {
+		for trial := 0; trial < 40; trial++ {
+			ka := 1 + rng.Intn(8)
+			kb := 1 + rng.Intn(8)
+			shared := 1 + rng.Intn(n)
+			a := randomSetWith(rng, n, ka, shared)
+			b := randomSetWith(rng, n, kb, shared)
+			ga, err := NewGeneral(n, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gb, err := NewGeneral(n, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := ga.RendezvousBound(len(b))
+			delta := rng.Intn(ga.Period())
+			got, ok := ttr(ga, gb, delta, bound)
+			if !ok {
+				t.Fatalf("n=%d sets %v/%v offset %d: no rendezvous within %d", n, a, b, delta, bound)
+			}
+			if got > bound {
+				t.Fatalf("TTR %d exceeds bound %d", got, bound)
+			}
+		}
+	}
+}
+
+// TestGeneralSelfRendezvous verifies that two agents with the SAME set
+// still meet under every offset (the helpful pair may come from a single
+// agent's two distinct primes).
+func TestGeneralSelfRendezvous(t *testing.T) {
+	for _, tc := range []struct {
+		n   int
+		set []int
+	}{
+		{4, []int{1, 2, 3}},
+		{8, []int{2, 5, 7, 8}},
+		{16, []int{1, 4, 9, 13, 16}},
+	} {
+		g, err := NewGeneral(tc.n, tc.set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := g.RendezvousBound(len(tc.set))
+		for delta := 0; delta < g.Period(); delta += 7 {
+			if _, ok := ttr(g, g, delta, bound); !ok {
+				t.Fatalf("n=%d %v: self rendezvous failed at offset %d", tc.n, tc.set, delta)
+			}
+		}
+	}
+}
+
+func TestGeneralStructure(t *testing.T) {
+	g, err := NewGeneral(32, []int{3, 7, 19, 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, q := g.Primes()
+	if p >= q || p < 4 || q > 12 {
+		t.Errorf("Primes() = (%d,%d), want two distinct primes in [4,12]", p, q)
+	}
+	if g.Period() != p*q*g.EpochLen() {
+		t.Errorf("Period = %d, want %d", g.Period(), p*q*g.EpochLen())
+	}
+	if g.Universe() != 32 {
+		t.Errorf("Universe = %d", g.Universe())
+	}
+	chans := g.Channels()
+	if len(chans) != 4 || chans[0] != 3 || chans[3] != 31 {
+		t.Errorf("Channels = %v", chans)
+	}
+	// Every hopped channel must belong to the set.
+	inSet := map[int]bool{3: true, 7: true, 19: true, 31: true}
+	for s := 0; s < g.Period(); s++ {
+		if !inSet[g.Channel(s)] {
+			t.Fatalf("Channel(%d) = %d outside the set", s, g.Channel(s))
+		}
+	}
+}
+
+func TestGeneralDeterministic(t *testing.T) {
+	a, err := NewGeneral(50, []int{4, 8, 15, 16, 23, 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGeneral(50, []int{42, 23, 16, 15, 8, 4}) // anonymity: order must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < a.Period(); s++ {
+		if a.Channel(s) != b.Channel(s) {
+			t.Fatalf("schedules diverge at slot %d", s)
+		}
+	}
+}
+
+func TestGeneralSingleChannel(t *testing.T) {
+	g, err := NewGeneral(10, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < g.Period()+5; s++ {
+		if g.Channel(s) != 6 {
+			t.Fatalf("Channel(%d) = %d, want 6", s, g.Channel(s))
+		}
+	}
+}
+
+func TestGeneralRejectsBadInput(t *testing.T) {
+	if _, err := NewGeneral(4, nil); err == nil {
+		t.Error("empty set: expected error")
+	}
+	if _, err := NewGeneral(4, []int{5}); err == nil {
+		t.Error("out of range: expected error")
+	}
+	if _, err := NewGeneral(4, []int{2, 2}); err == nil {
+		t.Error("duplicates: expected error")
+	}
+}
+
+func TestGeneralNegativeSlotPanics(t *testing.T) {
+	g, err := NewGeneral(4, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g.Channel(-1)
+}
+
+// randomSetWith returns a random size-k subset of [n] that contains the
+// given shared channel.
+func randomSetWith(rng *rand.Rand, n, k, shared int) []int {
+	set := map[int]bool{shared: true}
+	for len(set) < k {
+		set[1+rng.Intn(n)] = true
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	return out
+}

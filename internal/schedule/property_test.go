@@ -1,0 +1,151 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestGeneralPropertyInvariants drives the Theorem-3 constructor with
+// randomized universes and channel sets and checks the structural
+// invariants every schedule must satisfy: channels stay inside the set,
+// the period is honored, and construction is deterministic in the set
+// (anonymity).
+func TestGeneralPropertyInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%120) + 2
+		k := int(kRaw%8) + 1
+		if k > n {
+			k = n
+		}
+		set := make(map[int]bool)
+		for len(set) < k {
+			set[1+rng.Intn(n)] = true
+		}
+		channels := make([]int, 0, k)
+		for c := range set {
+			channels = append(channels, c)
+		}
+		g, err := NewGeneral(n, channels)
+		if err != nil {
+			return false
+		}
+		// Shuffled input must yield the identical schedule.
+		shuffled := append([]int(nil), channels...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		g2, err := NewGeneral(n, shuffled)
+		if err != nil {
+			return false
+		}
+		period := g.Period()
+		for trial := 0; trial < 50; trial++ {
+			s := rng.Intn(3 * period)
+			ch := g.Channel(s)
+			if !set[ch] {
+				return false
+			}
+			if g.Channel(s+period) != ch {
+				return false
+			}
+			if g2.Channel(s) != ch {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSymmetricPropertyInvariants mirrors the invariants through the
+// §3.2 wrapper, additionally checking the pattern structure: the wrapped
+// schedule hops min(S) on pattern-zero positions.
+func TestSymmetricPropertyInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%60) + 2
+		k := int(kRaw%5) + 1
+		if k > n {
+			k = n
+		}
+		set := make(map[int]bool)
+		for len(set) < k {
+			set[1+rng.Intn(n)] = true
+		}
+		channels := make([]int, 0, k)
+		minCh := n + 1
+		for c := range set {
+			channels = append(channels, c)
+			if c < minCh {
+				minCh = c
+			}
+		}
+		w, err := NewAsync(n, channels)
+		if err != nil {
+			return false
+		}
+		if w.MinChannel() != minCh {
+			return false
+		}
+		zeroPos := map[int]bool{0: true, 2: true, 3: true} // pattern 010011
+		for trial := 0; trial < 60; trial++ {
+			s := rng.Intn(2 * w.Period())
+			ch := w.Channel(s)
+			if !set[ch] {
+				return false
+			}
+			if zeroPos[s%6] && ch != minCh {
+				return false
+			}
+			if w.Channel(s+w.Period()) != ch {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPairRendezvousProperty draws random overlapping pairs at random
+// universes and random offsets and asserts rendezvous within the
+// Theorem-3 bound — a randomized companion to the exhaustive small-n
+// tests.
+func TestPairRendezvousProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(2000)
+		shared := 1 + rng.Intn(n)
+		mk := func() []int {
+			k := 1 + rng.Intn(6)
+			set := map[int]bool{shared: true}
+			for len(set) < k {
+				set[1+rng.Intn(n)] = true
+			}
+			out := make([]int, 0, k)
+			for c := range set {
+				out = append(out, c)
+			}
+			return out
+		}
+		a, b := mk(), mk()
+		ga, err := NewGeneral(n, a)
+		if err != nil {
+			return false
+		}
+		gb, err := NewGeneral(n, b)
+		if err != nil {
+			return false
+		}
+		bound := ga.RendezvousBound(len(b))
+		delta := rng.Intn(2 * ga.Period())
+		_, ok := ttr(ga, gb, delta, bound+1)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package schedule defines the channel-hopping schedule abstraction used
+// throughout this repository and implements the paper's primary
+// contribution: the Theorem-3 general n-schedule with asynchronous
+// rendezvous time O(|A|·|B|·log log n), plus the §3.2 wrapper that makes
+// symmetric rendezvous O(1).
+//
+// A Schedule is a total function from slot numbers to channels. All
+// schedules here are cyclic; Period reports the cycle length so tests
+// and the simulator can bound their searches.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schedule is a deterministic channel-hopping schedule σ : N → S ⊆ [n].
+// Implementations must be pure: Channel(t) depends only on t (never on
+// call history), so schedules are safe for concurrent readers.
+type Schedule interface {
+	// Channel returns the 1-based channel hopped at slot t ≥ 0.
+	Channel(t int) int
+	// Period returns a positive p with Channel(t+p) = Channel(t) for all t.
+	Period() int
+	// Channels returns a copy of the channel set the schedule draws from.
+	Channels() []int
+}
+
+// Constant hops a single channel forever. It is the degenerate epoch
+// schedule of Theorem 3 and the trivial schedule for |S| = 1.
+type Constant struct {
+	ch int
+}
+
+// NewConstant returns the schedule that hops ch at every slot.
+func NewConstant(ch int) Constant { return Constant{ch: ch} }
+
+// Channel implements Schedule.
+func (c Constant) Channel(int) int { return c.ch }
+
+// Period implements Schedule.
+func (c Constant) Period() int { return 1 }
+
+// Channels implements Schedule.
+func (c Constant) Channels() []int { return []int{c.ch} }
+
+// Cyclic replays an explicit finite sequence of channels forever.
+type Cyclic struct {
+	seq   []int
+	chans []int
+}
+
+// NewCyclic returns a schedule cycling through seq. The sequence must be
+// non-empty; it is copied.
+func NewCyclic(seq []int) (*Cyclic, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("schedule: empty cycle")
+	}
+	cp := make([]int, len(seq))
+	copy(cp, seq)
+	return &Cyclic{seq: cp, chans: distinctSorted(cp)}, nil
+}
+
+// Channel implements Schedule.
+func (c *Cyclic) Channel(t int) int { return c.seq[t%len(c.seq)] }
+
+// Period implements Schedule.
+func (c *Cyclic) Period() int { return len(c.seq) }
+
+// Channels implements Schedule.
+func (c *Cyclic) Channels() []int {
+	out := make([]int, len(c.chans))
+	copy(out, c.chans)
+	return out
+}
+
+// distinctSorted returns the sorted distinct values of xs.
+func distinctSorted(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ValidateChannels checks that channels is a non-empty set of distinct
+// values within [1, n] and returns the sorted set.
+func ValidateChannels(n int, channels []int) ([]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("schedule: universe size %d must be positive", n)
+	}
+	if len(channels) == 0 {
+		return nil, fmt.Errorf("schedule: empty channel set")
+	}
+	sorted := distinctSorted(channels)
+	if len(sorted) != len(channels) {
+		return nil, fmt.Errorf("schedule: duplicate channels in %v", channels)
+	}
+	if sorted[0] < 1 || sorted[len(sorted)-1] > n {
+		return nil, fmt.Errorf("schedule: channels %v outside [1,%d]", channels, n)
+	}
+	return sorted, nil
+}

@@ -1,0 +1,61 @@
+package schedule
+
+// The §3.2 reduction: any schedule Σ that guarantees rendezvous for all
+// pairs of sets can be transformed into one that additionally guarantees
+// O(1) rendezvous for identical sets, at a 12× cost for everyone else.
+//
+// When the inner schedule calls for channel c1, the wrapped schedule
+// performs the 12-slot block (c0 c1 c0 c0 c1 c1)² with c0 = min(S). The
+// bit pattern 010011 satisfies 010011 ◇₀ 010011 — any two rotations
+// realize simultaneous (0,0) and (1,1) — so two agents with the same set
+// hit (c0, c0) within the first overlapping block (O(1) slots), while
+// any rendezvous slot of the inner schedules maps to a (c1, c1) hit
+// inside the corresponding overlapping blocks.
+
+// symmetricPattern is the §3.2 access pattern: 0 ⇒ hop min(S), 1 ⇒ hop
+// the channel the inner schedule called for.
+var symmetricPattern = [6]byte{0, 1, 0, 0, 1, 1}
+
+// SymmetricBlockLen is the length of the wrapped block emitted for each
+// inner slot (the 6-slot pattern repeated twice).
+const SymmetricBlockLen = 12
+
+// Symmetric wraps an inner schedule with the §3.2 pattern.
+type Symmetric struct {
+	inner Schedule
+	c0    int
+}
+
+var _ Schedule = (*Symmetric)(nil)
+
+// NewSymmetric wraps inner with the §3.2 min-channel pattern.
+func NewSymmetric(inner Schedule) *Symmetric {
+	chans := inner.Channels()
+	c0 := chans[0]
+	for _, c := range chans[1:] {
+		if c < c0 {
+			c0 = c
+		}
+	}
+	return &Symmetric{inner: inner, c0: c0}
+}
+
+// Channel implements Schedule.
+func (s *Symmetric) Channel(t int) int {
+	if symmetricPattern[t%SymmetricBlockLen%6] == 0 {
+		return s.c0
+	}
+	return s.inner.Channel(t / SymmetricBlockLen)
+}
+
+// Period implements Schedule.
+func (s *Symmetric) Period() int { return SymmetricBlockLen * s.inner.Period() }
+
+// Channels implements Schedule.
+func (s *Symmetric) Channels() []int { return s.inner.Channels() }
+
+// MinChannel returns c0 = min(S), the channel symmetric pairs meet on.
+func (s *Symmetric) MinChannel() int { return s.c0 }
+
+// Inner returns the wrapped schedule.
+func (s *Symmetric) Inner() Schedule { return s.inner }

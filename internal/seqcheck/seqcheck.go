@@ -1,0 +1,162 @@
+// Package seqcheck analyzes channel-hopping schedules as combinatorial
+// sequences: rotation closure, diagonal channel coverage, and channel
+// occupancy balance. These are the properties that oblivious-sequence
+// guarantees (CRSEQ, Jump-Stay, DRDS) rest on, and the tools here are
+// what surfaced the CRSEQ remapping counterexample recorded in
+// DESIGN.md. They are exposed as a library so downstream users can
+// certify their own sequences before deployment.
+package seqcheck
+
+import (
+	"fmt"
+
+	"rendezvous/internal/schedule"
+)
+
+// DiagonalReport describes, for one cyclic shift δ of a schedule against
+// itself (or another schedule), which channels are ever co-generated:
+// slots t with a(t+δ) = b(t) = c.
+type DiagonalReport struct {
+	Shift    int
+	Covered  []int // channels co-generated at this shift, ascending
+	Missing  []int // channels in the intersection never co-generated
+	AnyCover bool  // at least one co-generation slot exists
+}
+
+// CheckDiagonal scans one full period and reports co-generation at the
+// given shift. Channels considered are the intersection of the two
+// schedules' channel sets.
+func CheckDiagonal(a, b schedule.Schedule, shift int) DiagonalReport {
+	period := lcm(a.Period(), b.Period())
+	want := intersect(a.Channels(), b.Channels())
+	covered := make(map[int]bool)
+	for t := 0; t < period; t++ {
+		if ca := a.Channel(t + shift); ca == b.Channel(t) {
+			covered[ca] = true
+		}
+	}
+	rep := DiagonalReport{Shift: shift}
+	for _, c := range want {
+		if covered[c] {
+			rep.Covered = append(rep.Covered, c)
+		} else {
+			rep.Missing = append(rep.Missing, c)
+		}
+	}
+	rep.AnyCover = len(covered) > 0
+	return rep
+}
+
+// RotationClosure reports whether, for EVERY cyclic shift in [0, limit),
+// the two schedules co-generate at least one common channel — the
+// property that makes an oblivious sequence a guaranteed-rendezvous
+// sequence. It returns the first failing shift when the property does
+// not hold. limit ≤ 0 means one full joint period (use with care: the
+// scan is O(limit · period)).
+func RotationClosure(a, b schedule.Schedule, limit int) (ok bool, failShift int) {
+	period := lcm(a.Period(), b.Period())
+	if limit <= 0 {
+		limit = period
+	}
+	for shift := 0; shift < limit; shift++ {
+		found := false
+		for t := 0; t < period && !found; t++ {
+			found = a.Channel(t+shift) == b.Channel(t)
+		}
+		if !found {
+			return false, shift
+		}
+	}
+	return true, 0
+}
+
+// FullDiagonalCoverage reports whether every channel of the two
+// schedules' intersection is co-generated at every shift in [0, limit) —
+// the strongest sequence property (sufficient for rendezvous no matter
+// which single channel the adversary leaves in the intersection). It
+// returns a witness (shift, channel) on failure.
+func FullDiagonalCoverage(a, b schedule.Schedule, limit int) (ok bool, failShift, failChannel int) {
+	period := lcm(a.Period(), b.Period())
+	if limit <= 0 {
+		limit = period
+	}
+	for shift := 0; shift < limit; shift++ {
+		rep := CheckDiagonal(a, b, shift)
+		if len(rep.Missing) > 0 {
+			return false, shift, rep.Missing[0]
+		}
+	}
+	return true, 0, 0
+}
+
+// Occupancy returns the per-channel slot counts over one full period of
+// the schedule — the quantity Δ(h,σ;T)·T from Theorem 7's density
+// argument.
+func Occupancy(s schedule.Schedule) map[int]int {
+	counts := make(map[int]int)
+	period := s.Period()
+	for t := 0; t < period; t++ {
+		counts[s.Channel(t)]++
+	}
+	return counts
+}
+
+// BalanceRatio returns max/min occupancy across the schedule's channels
+// over one period. A ratio of 1 means perfectly fair channel usage;
+// Theorem 7's bound is tightest against balanced schedules. It reports
+// an error if some declared channel is never hopped.
+func BalanceRatio(s schedule.Schedule) (float64, error) {
+	counts := Occupancy(s)
+	minC, maxC := -1, 0
+	for _, ch := range s.Channels() {
+		c := counts[ch]
+		if c == 0 {
+			return 0, fmt.Errorf("seqcheck: channel %d never hopped in one period", ch)
+		}
+		if minC < 0 || c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if minC <= 0 {
+		return 0, fmt.Errorf("seqcheck: schedule has no channels")
+	}
+	return float64(maxC) / float64(minC), nil
+}
+
+func intersect(a, b []int) []int {
+	in := make(map[int]bool, len(a))
+	for _, x := range a {
+		in[x] = true
+	}
+	var out []int
+	for _, y := range b {
+		if in[y] {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// lcm saturates at 1<<30 to keep scans bounded for schedules with huge
+// or mismatched periods.
+func lcm(a, b int) int {
+	g := gcd(a, b)
+	if g == 0 {
+		return 1
+	}
+	l := a / g * b
+	if l <= 0 || l > 1<<30 {
+		return 1 << 30
+	}
+	return l
+}

@@ -1,0 +1,149 @@
+package seqcheck
+
+import (
+	"testing"
+
+	"rendezvous/internal/baselines"
+	"rendezvous/internal/schedule"
+	"rendezvous/internal/simulator"
+)
+
+func mustCyclic(t *testing.T, seq []int) schedule.Schedule {
+	t.Helper()
+	c, err := schedule.NewCyclic(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCheckDiagonalBasic(t *testing.T) {
+	a := mustCyclic(t, []int{1, 2})
+	rep := CheckDiagonal(a, a, 0)
+	if len(rep.Covered) != 2 || len(rep.Missing) != 0 || !rep.AnyCover {
+		t.Fatalf("shift 0: %+v", rep)
+	}
+	// Shift 1 of the alternating sequence never matches itself.
+	rep = CheckDiagonal(a, a, 1)
+	if rep.AnyCover || len(rep.Missing) != 2 {
+		t.Fatalf("shift 1: %+v", rep)
+	}
+}
+
+func TestRotationClosureAlternatingFails(t *testing.T) {
+	a := mustCyclic(t, []int{1, 2})
+	ok, shift := RotationClosure(a, a, 0)
+	if ok || shift != 1 {
+		t.Fatalf("alternating sequence should fail closure at shift 1, got ok=%v shift=%d", ok, shift)
+	}
+}
+
+func TestRotationClosureFlagshipHolds(t *testing.T) {
+	// The Theorem-3 schedule must co-generate at every shift against any
+	// overlapping peer (that is its rendezvous guarantee).
+	n := 16
+	a, err := schedule.NewGeneral(n, []int{2, 7, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := schedule.NewGeneral(n, []int{7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, shift := RotationClosure(a, b, 500)
+	if !ok {
+		t.Fatalf("flagship closure failed at shift %d", shift)
+	}
+}
+
+// TestCRSEQCounterexampleViaSeqcheck re-derives the DESIGN.md CRSEQ
+// finding with the generic analyzer: rotation closure fails for the
+// pinned pair.
+func TestCRSEQCounterexampleViaSeqcheck(t *testing.T) {
+	a, err := baselines.NewCRSEQ(4, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := baselines.NewCRSEQ(4, []int{1, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, shift := RotationClosure(a, b, 0)
+	if ok {
+		t.Fatal("expected a closure failure for the CRSEQ counterexample pair")
+	}
+	if shift != 35 {
+		t.Logf("note: first failing shift now %d (35 in DESIGN.md)", shift)
+	}
+}
+
+func TestFullDiagonalCoverage(t *testing.T) {
+	// A constant schedule trivially covers its single channel at every
+	// shift.
+	c := schedule.NewConstant(3)
+	ok, _, _ := FullDiagonalCoverage(c, c, 10)
+	if !ok {
+		t.Fatal("constant schedule should have full coverage")
+	}
+	// The CRSEQ full-set sequence misses a channel at some shift for
+	// n = 4 and n = 7 (the structural observation behind the remap
+	// counterexample), while n = 5 and 6 happen to be fully covered —
+	// coverage depends on how the prime P > n wraps, which is exactly
+	// why a per-instance certifier is useful.
+	for n, wantOK := range map[int]bool{4: false, 5: true, 6: true, 7: false} {
+		cr, err := baselines.NewCRSEQ(n, simulator.FullSet(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, shift, ch := FullDiagonalCoverage(cr, cr, 0)
+		if ok != wantOK {
+			t.Fatalf("n=%d: coverage = %v (witness shift=%d ch=%d), want %v", n, ok, shift, ch, wantOK)
+		}
+	}
+}
+
+func TestOccupancyAndBalance(t *testing.T) {
+	c := mustCyclic(t, []int{1, 1, 2, 1})
+	occ := Occupancy(c)
+	if occ[1] != 3 || occ[2] != 1 {
+		t.Fatalf("occupancy = %v", occ)
+	}
+	ratio, err := BalanceRatio(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 3 {
+		t.Fatalf("ratio = %v, want 3", ratio)
+	}
+}
+
+func TestBalanceRatioFlagshipFair(t *testing.T) {
+	g, err := schedule.NewGeneral(32, []int{4, 9, 17, 25, 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := BalanceRatio(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch indices are drawn via two primes in [k,3k]; the fallback to
+	// a_0 skews usage by at most a small constant factor.
+	if ratio > 6 {
+		t.Fatalf("flagship occupancy unexpectedly unfair: ratio %.2f", ratio)
+	}
+}
+
+func TestBalanceRatioErrors(t *testing.T) {
+	// A Dynamic schedule's final phase may exclude channels present in
+	// Channels() of an inner phase; simulate via a cyclic schedule that
+	// simply never uses a declared channel by constructing a custom stub.
+	if _, err := BalanceRatio(stub{}); err == nil {
+		t.Fatal("expected error for never-hopped channel")
+	}
+}
+
+type stub struct{}
+
+func (stub) Channel(int) int { return 1 }
+func (stub) Period() int     { return 4 }
+func (stub) Channels() []int { return []int{1, 2} }

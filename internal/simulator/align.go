@@ -1,0 +1,24 @@
+package simulator
+
+import "rendezvous/internal/schedule"
+
+// AlignWake adapts a schedule that is a function of the GLOBAL slot
+// clock (the beacon protocols of §5: every agent evaluates the same
+// shared permutation at the same absolute slot) to the engine's
+// local-clock convention. An agent created as
+//
+//	Agent{Sched: AlignWake(proto, w), Wake: w}
+//
+// executes proto.Channel(globalSlot) for every globalSlot ≥ w.
+func AlignWake(inner schedule.Schedule, wake int) schedule.Schedule {
+	return aligned{inner: inner, wake: wake}
+}
+
+type aligned struct {
+	inner schedule.Schedule
+	wake  int
+}
+
+func (a aligned) Channel(t int) int { return a.inner.Channel(t + a.wake) }
+func (a aligned) Period() int       { return a.inner.Period() }
+func (a aligned) Channels() []int   { return a.inner.Channels() }

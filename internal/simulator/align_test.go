@@ -1,0 +1,53 @@
+package simulator
+
+import (
+	"testing"
+
+	"rendezvous/internal/schedule"
+)
+
+func TestAlignWakeShiftsClock(t *testing.T) {
+	inner, err := schedule.NewCyclic([]int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := AlignWake(inner, 3)
+	// Local slot 0 must see global slot 3.
+	if got := a.Channel(0); got != 4 {
+		t.Fatalf("Channel(0) = %d, want 4", got)
+	}
+	if got := a.Channel(1); got != 1 {
+		t.Fatalf("Channel(1) = %d, want 1", got)
+	}
+	if a.Period() != inner.Period() {
+		t.Errorf("Period = %d", a.Period())
+	}
+	chans := a.Channels()
+	if len(chans) != 4 {
+		t.Errorf("Channels = %v", chans)
+	}
+}
+
+func TestAlignWakeInEngineEquivalence(t *testing.T) {
+	// Two agents with the SAME global-clock schedule must meet the moment
+	// both are awake, regardless of wake offsets, when aligned.
+	global, err := schedule.NewCyclic([]int{5, 7, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine([]Agent{
+		{Name: "early", Sched: AlignWake(global, 2), Wake: 2},
+		{Name: "late", Sched: AlignWake(global, 9), Wake: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run(20)
+	m, ok := res.Meeting("early", "late")
+	if !ok {
+		t.Fatal("aligned agents did not meet")
+	}
+	if m.TTR != 0 {
+		t.Fatalf("aligned identical global schedules must meet instantly, TTR = %d", m.TTR)
+	}
+}

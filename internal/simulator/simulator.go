@@ -1,0 +1,190 @@
+// Package simulator provides the slot-synchronous discrete-event engine
+// used to evaluate every rendezvous algorithm in this repository: agents
+// with arbitrary wake offsets hop channels according to their schedules,
+// and the engine records pairwise first-rendezvous times.
+//
+// Time is a global slot counter t = 0, 1, 2, …. An agent with wake time
+// w executes slot s = t − w of its schedule at global slot t ≥ w (the
+// paper's asynchronous model: a common slot clock but adversarial wake
+// offsets). Two agents rendezvous at the first global slot at which both
+// are awake and hop the same channel.
+package simulator
+
+import (
+	"fmt"
+	"sort"
+
+	"rendezvous/internal/schedule"
+)
+
+// Agent is a named participant: a schedule plus a wake slot.
+type Agent struct {
+	Name  string
+	Sched schedule.Schedule
+	Wake  int
+}
+
+// Meeting records the first rendezvous between two agents.
+type Meeting struct {
+	A, B    string
+	Slot    int // global slot of first rendezvous
+	Channel int // channel they met on
+	TTR     int // slots after both were awake: Slot − max(wake)
+}
+
+// Result holds the outcome of a simulation run.
+type Result struct {
+	Horizon  int
+	meetings map[[2]string]Meeting
+}
+
+// Meeting returns the first meeting between the two named agents.
+func (r *Result) Meeting(a, b string) (Meeting, bool) {
+	m, ok := r.meetings[pairKey(a, b)]
+	return m, ok
+}
+
+// Meetings returns all recorded meetings sorted by slot.
+func (r *Result) Meetings() []Meeting {
+	out := make([]Meeting, 0, len(r.meetings))
+	for _, m := range r.meetings {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Slot != out[j].Slot {
+			return out[i].Slot < out[j].Slot
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// AllMet reports whether every pair of agents whose channel sets overlap
+// has met.
+func (r *Result) AllMet(agents []Agent) bool {
+	for i := range agents {
+		for j := i + 1; j < len(agents); j++ {
+			if !setsIntersect(agents[i].Sched.Channels(), agents[j].Sched.Channels()) {
+				continue
+			}
+			if _, ok := r.Meeting(agents[i].Name, agents[j].Name); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+func setsIntersect(a, b []int) bool {
+	in := make(map[int]bool, len(a))
+	for _, x := range a {
+		in[x] = true
+	}
+	for _, y := range b {
+		if in[y] {
+			return true
+		}
+	}
+	return false
+}
+
+// Engine runs multi-agent simulations.
+type Engine struct {
+	agents []Agent
+}
+
+// NewEngine validates the agents (unique non-empty names, non-negative
+// wake slots) and returns an engine.
+func NewEngine(agents []Agent) (*Engine, error) {
+	if len(agents) < 2 {
+		return nil, fmt.Errorf("simulator: need at least 2 agents, got %d", len(agents))
+	}
+	seen := make(map[string]bool, len(agents))
+	for _, a := range agents {
+		if a.Name == "" {
+			return nil, fmt.Errorf("simulator: agent with empty name")
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("simulator: duplicate agent name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Wake < 0 {
+			return nil, fmt.Errorf("simulator: agent %q has negative wake %d", a.Name, a.Wake)
+		}
+		if a.Sched == nil {
+			return nil, fmt.Errorf("simulator: agent %q has nil schedule", a.Name)
+		}
+	}
+	cp := make([]Agent, len(agents))
+	copy(cp, agents)
+	return &Engine{agents: cp}, nil
+}
+
+// Run advances global slots 0 … horizon−1 and records the first meeting
+// of every agent pair that hops a common channel while awake.
+func (e *Engine) Run(horizon int) *Result {
+	res := &Result{Horizon: horizon, meetings: make(map[[2]string]Meeting)}
+	occupants := make(map[int][]int) // channel -> agent indices, reused per slot
+	for t := 0; t < horizon; t++ {
+		for ch := range occupants {
+			delete(occupants, ch)
+		}
+		for i, a := range e.agents {
+			if t < a.Wake {
+				continue
+			}
+			ch := a.Sched.Channel(t - a.Wake)
+			occupants[ch] = append(occupants[ch], i)
+		}
+		for ch, idxs := range occupants {
+			if len(idxs) < 2 {
+				continue
+			}
+			for x := 0; x < len(idxs); x++ {
+				for y := x + 1; y < len(idxs); y++ {
+					ai, bj := e.agents[idxs[x]], e.agents[idxs[y]]
+					key := pairKey(ai.Name, bj.Name)
+					if _, done := res.meetings[key]; done {
+						continue
+					}
+					both := ai.Wake
+					if bj.Wake > both {
+						both = bj.Wake
+					}
+					res.meetings[key] = Meeting{
+						A: key[0], B: key[1], Slot: t, Channel: ch, TTR: t - both,
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// PairTTR measures the time-to-rendezvous of two schedules directly:
+// a wakes at wakeA, b at wakeB; the returned TTR counts slots after both
+// are awake. ok is false if they do not meet within horizon slots
+// (measured from the later wake).
+func PairTTR(a, b schedule.Schedule, wakeA, wakeB, horizon int) (ttr int, ok bool) {
+	start := wakeA
+	if wakeB > start {
+		start = wakeB
+	}
+	for s := 0; s < horizon; s++ {
+		t := start + s
+		if a.Channel(t-wakeA) == b.Channel(t-wakeB) {
+			return s, true
+		}
+	}
+	return 0, false
+}

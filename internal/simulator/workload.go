@@ -1,0 +1,141 @@
+package simulator
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// PairWorkload describes one asymmetric rendezvous scenario: two channel
+// sets over a common universe.
+type PairWorkload struct {
+	N    int
+	A, B []int
+}
+
+// RandomOverlappingPair draws a workload with |A| = ka, |B| = kb and at
+// least one shared channel, uniformly at random. It panics if the sizes
+// are infeasible for the universe (programmer error in experiment
+// setup).
+func RandomOverlappingPair(rng *rand.Rand, n, ka, kb int) PairWorkload {
+	if ka < 1 || kb < 1 || ka > n || kb > n {
+		panic(fmt.Sprintf("simulator: infeasible pair sizes ka=%d kb=%d for n=%d", ka, kb, n))
+	}
+	shared := 1 + rng.Intn(n)
+	return PairWorkload{
+		N: n,
+		A: randomSetContaining(rng, n, ka, shared),
+		B: randomSetContaining(rng, n, kb, shared),
+	}
+}
+
+// RandomPairWithIntersection draws a workload whose channel sets share
+// exactly m channels (m ≥ 1). It panics if infeasible: it needs
+// ka + kb − m ≤ n.
+func RandomPairWithIntersection(rng *rand.Rand, n, ka, kb, m int) PairWorkload {
+	if m < 1 || m > ka || m > kb || ka+kb-m > n {
+		panic(fmt.Sprintf("simulator: infeasible intersection m=%d (ka=%d kb=%d n=%d)", m, ka, kb, n))
+	}
+	perm := rng.Perm(n)
+	shared := perm[:m]
+	onlyA := perm[m : m+ka-m]
+	onlyB := perm[m+ka-m : m+ka-m+kb-m]
+	a := make([]int, 0, ka)
+	b := make([]int, 0, kb)
+	for _, c := range shared {
+		a = append(a, c+1)
+		b = append(b, c+1)
+	}
+	for _, c := range onlyA {
+		a = append(a, c+1)
+	}
+	for _, c := range onlyB {
+		b = append(b, c+1)
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	return PairWorkload{N: n, A: a, B: b}
+}
+
+// AdversarialPairs returns structured worst-case-flavored workloads for
+// universe n: poset chains, shared extremes, nested sets, and singleton
+// intersections at the universe edges. These stress the cases the
+// paper's constructions treat separately (path vs shared-min vs
+// shared-max).
+func AdversarialPairs(n int) []PairWorkload {
+	if n < 4 {
+		panic(fmt.Sprintf("simulator: AdversarialPairs needs n ≥ 4, got %d", n))
+	}
+	mid := n / 2
+	return []PairWorkload{
+		{N: n, A: dedupe(1, 2), B: dedupe(2, 3)},                       // path, low channels
+		{N: n, A: dedupe(n-2, n-1), B: dedupe(n-1, n)},                 // path, high channels
+		{N: n, A: dedupe(1, n), B: dedupe(mid, n)},                     // shared max
+		{N: n, A: dedupe(1, mid), B: dedupe(1, n)},                     // shared min
+		{N: n, A: dedupe(1, mid, n), B: dedupe(1, mid, n)},             // identical
+		{N: n, A: dedupe(1, 2, 3, mid), B: dedupe(mid, n-1, n)},        // singleton bridge
+		{N: n, A: dedupe(mid), B: dedupe(1, mid, n)},                   // singleton set
+		{N: n, A: firstK(n, min(8, n)), B: lastKWith(n, min(8, n), 1)}, // extremes sharing 1
+	}
+}
+
+// dedupe sorts its arguments and removes duplicates (small structured
+// sets collide for tiny universes, e.g. mid == 2 when n == 4).
+func dedupe(cs ...int) []int {
+	seen := make(map[int]bool, len(cs))
+	var out []int
+	for _, c := range cs {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FullSet returns {1, …, n}.
+func FullSet(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// randomSetContaining returns a uniformly random size-k subset of [n]
+// containing the given channel.
+func randomSetContaining(rng *rand.Rand, n, k, contains int) []int {
+	set := map[int]bool{contains: true}
+	for len(set) < k {
+		set[1+rng.Intn(n)] = true
+	}
+	out := make([]int, 0, k)
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func firstK(n, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// lastKWith returns the k largest channels of [n] plus channel extra.
+func lastKWith(n, k, extra int) []int {
+	set := map[int]bool{extra: true}
+	for c := n; c > 0 && len(set) < k+1; c-- {
+		set[c] = true
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}

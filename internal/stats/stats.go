@@ -1,0 +1,121 @@
+// Package stats provides the small set of descriptive statistics and
+// log-scale fitting helpers the benchmark harness uses to turn raw
+// time-to-rendezvous samples into the series reported in EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of non-negative measurements.
+type Summary struct {
+	N           int
+	Min, Max    float64
+	Mean        float64
+	P50, P90    float64
+	P99         float64
+	StandardDev float64
+}
+
+// Summarize computes a Summary. It returns the zero Summary for an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var sum, sq float64
+	for _, x := range sorted {
+		sum += x
+		sq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:           len(sorted),
+		Min:         sorted[0],
+		Max:         sorted[len(sorted)-1],
+		Mean:        mean,
+		P50:         Percentile(sorted, 0.50),
+		P90:         Percentile(sorted, 0.90),
+		P99:         Percentile(sorted, 0.99),
+		StandardDev: math.Sqrt(variance),
+	}
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of an ascending-sorted
+// sample using nearest-rank interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FitPowerLaw fits y ≈ c·xᵉ by least squares on log-log scale and
+// returns the exponent e and constant c. All inputs must be positive;
+// it reports an error otherwise or when fewer than two points are given.
+// The exponent is the diagnostic the experiment harness uses to verify
+// growth shapes (≈2 for O(n²) baselines, ≈3 for O(n³), ≈0 for O(1)).
+func FitPowerLaw(xs, ys []float64) (exponent, constant float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("stats: need ≥2 paired points, got %d/%d", len(xs), len(ys))
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, fmt.Errorf("stats: power-law fit needs positive data, got (%g,%g)", xs[i], ys[i])
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	n := float64(len(xs))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("stats: degenerate x values")
+	}
+	exponent = (n*sxy - sx*sy) / den
+	constant = math.Exp((sy - exponent*sx) / n)
+	return exponent, constant, nil
+}
+
+// GrowthRatios returns y[i+1]/y[i]; flat sequences (O(1) growth) have
+// ratios near 1 and quadratic ones near (x[i+1]/x[i])².
+func GrowthRatios(ys []float64) []float64 {
+	if len(ys) < 2 {
+		return nil
+	}
+	out := make([]float64, len(ys)-1)
+	for i := range out {
+		if ys[i] == 0 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		out[i] = ys[i+1] / ys[i]
+	}
+	return out
+}

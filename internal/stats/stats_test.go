@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if math.Abs(s.StandardDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev = %v", s.StandardDev)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	// y = 3·x²
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	e, c, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-2) > 1e-9 || math.Abs(c-3) > 1e-9 {
+		t.Errorf("fit = (%v, %v), want (2, 3)", e, c)
+	}
+}
+
+func TestFitPowerLawProperty(t *testing.T) {
+	f := func(e8 int8, c8 uint8) bool {
+		e := float64(e8%4) / 2.0 // exponents in (−2, 2)
+		c := 1 + float64(c8%50)
+		xs := []float64{2, 4, 8, 16, 32, 64}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = c * math.Pow(x, e)
+		}
+		ge, gc, err := FitPowerLaw(xs, ys)
+		return err == nil && math.Abs(ge-e) < 1e-6 && math.Abs(gc-c)/c < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, _, err := FitPowerLaw([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point: expected error")
+	}
+	if _, _, err := FitPowerLaw([]float64{1, 2}, []float64{0, 2}); err == nil {
+		t.Error("non-positive y: expected error")
+	}
+	if _, _, err := FitPowerLaw([]float64{2, 2}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x: expected error")
+	}
+}
+
+func TestGrowthRatios(t *testing.T) {
+	got := GrowthRatios([]float64{1, 2, 8})
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("ratios = %v", got)
+	}
+	if GrowthRatios([]float64{5}) != nil {
+		t.Error("single element should give nil")
+	}
+	inf := GrowthRatios([]float64{0, 3})
+	if !math.IsInf(inf[0], 1) {
+		t.Error("division by zero should give +Inf")
+	}
+}

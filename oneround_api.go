@@ -1,0 +1,42 @@
+package rendezvous
+
+import (
+	"math/rand"
+
+	"rendezvous/internal/oneround"
+)
+
+// OneRoundGraph is the appendix's "graphical" one-shot setting: channel
+// vertices with one edge per agent (channel sets of size two). Orienting
+// an edge is the agent's single-slot channel choice; two agents
+// rendezvous iff their arcs share a head.
+type OneRoundGraph = oneround.Graph
+
+// Orientation assigns each agent edge a direction (+1 keeps the stored
+// direction, −1 flips it).
+type Orientation = oneround.Orientation
+
+// OneRoundSDPOptions tunes the 0.439-approximation pipeline.
+type OneRoundSDPOptions = oneround.SDPOptions
+
+// OneRoundSDPResult reports the orientation found and its in-pair count.
+type OneRoundSDPResult = oneround.SDPResult
+
+// NewOneRoundGraph builds the agent/channel graph; parallel edges model
+// distinct agents with the same channel pair.
+func NewOneRoundGraph(vertices int, edges [][2]int) (*OneRoundGraph, error) {
+	return oneround.NewGraph(vertices, edges)
+}
+
+// SolveOneRound runs the appendix pipeline — edge-vector SDP relaxation,
+// hyperplane rounding, orientation flip — achieving at least 0.439 of
+// the maximum number of simultaneously-rendezvousing pairs.
+func SolveOneRound(g *OneRoundGraph, opts OneRoundSDPOptions) (OneRoundSDPResult, error) {
+	return oneround.SolveOneRound(g, opts)
+}
+
+// BestRandomOrientation draws the appendix's 0.25-approximate random
+// orientations and keeps the best of trials.
+func BestRandomOrientation(g *OneRoundGraph, rng *rand.Rand, trials int) (Orientation, int) {
+	return oneround.BestRandom(g, rng, trials)
+}

@@ -1,0 +1,103 @@
+// Package rendezvous is a Go implementation of "Deterministic Blind
+// Rendezvous in Cognitive Radio Networks" (Chen, Russell, Samanta,
+// Sundaram — ICDCS 2014): deterministic channel-hopping schedules that
+// guarantee any two radios with overlapping channel subsets of [n] meet
+// on a common channel in O(|S_A|·|S_B|·log log n) slots under arbitrary
+// wake offsets — and in O(1) slots when their subsets are identical —
+// plus the prior-work baselines (CRSEQ, Jump-Stay), the §5 one-bit-
+// beacon protocols, the §4 lower-bound explorers, the appendix one-round
+// SDP approximation, and a slot-level simulator to evaluate them all.
+//
+// # Quick start
+//
+//	n := 1024                                  // channel universe [1..n]
+//	a, _ := rendezvous.New(n, []int{3, 90, 512})
+//	b, _ := rendezvous.New(n, []int{90, 700})
+//	ttr, ok := rendezvous.PairTTR(a, b, 0, 17, 1_000_000)
+//	// ok == true; ttr is the slot count until both radios hop channel 90
+//
+// Schedules are deterministic and anonymous: they depend only on the
+// channel set and n, never on an identity, so any two devices running
+// this code discover each other with zero coordination.
+package rendezvous
+
+import (
+	"rendezvous/internal/schedule"
+	"rendezvous/internal/simulator"
+)
+
+// Schedule is a deterministic channel-hopping schedule σ : N → S ⊆ [n].
+// Channel reports the 1-based channel hopped at slot t (t ≥ 0), Period a
+// cycle length, and Channels a copy of the underlying channel set.
+// Implementations are pure functions of t and safe for concurrent
+// readers.
+type Schedule = schedule.Schedule
+
+// New returns the paper's flagship construction for the given channel
+// subset of [1, n]: the Theorem-3 epoch schedule wrapped with the §3.2
+// symmetric reduction. Two agents with overlapping sets rendezvous in
+// O(|S_A|·|S_B|·log log n) slots regardless of wake offsets; agents with
+// identical sets rendezvous in at most 6 slots.
+func New(n int, channels []int) (Schedule, error) {
+	return schedule.NewAsync(n, channels)
+}
+
+// NewGeneral returns the bare Theorem-3 schedule (no symmetric wrapper):
+// asynchronous rendezvous in O(|S_A|·|S_B|·log log n) slots. Use New
+// unless you are studying the construction itself.
+func NewGeneral(n int, channels []int) (Schedule, error) {
+	return schedule.NewGeneral(n, channels)
+}
+
+// NewSymmetric applies the §3.2 reduction to any schedule: identical
+// channel sets then meet in O(1) slots at min(S), all other guarantees
+// degrade by at most 12×.
+func NewSymmetric(inner Schedule) Schedule {
+	return schedule.NewSymmetric(inner)
+}
+
+// Phase describes one segment of a dynamic spectrum timeline: from local
+// slot FromSlot the agent has access to exactly Channels.
+type Phase = schedule.Phase
+
+// NewDynamic returns a schedule for an agent whose available spectrum
+// changes over time (incumbents arriving or leaving). Each phase runs
+// the flagship construction for its set; rendezvous guarantees hold
+// within each phase.
+func NewDynamic(n int, phases []Phase) (Schedule, error) {
+	return schedule.NewDynamic(n, phases)
+}
+
+// Agent is a simulation participant: a named schedule plus the global
+// slot at which it wakes up.
+type Agent = simulator.Agent
+
+// Meeting records the first rendezvous between two agents in a
+// simulation run.
+type Meeting = simulator.Meeting
+
+// Result holds the outcome of a simulation run.
+type Result = simulator.Result
+
+// Engine is the slot-synchronous multi-agent simulator.
+type Engine = simulator.Engine
+
+// NewEngine validates agents (unique names, non-negative wakes) and
+// returns a simulation engine.
+func NewEngine(agents []Agent) (*Engine, error) {
+	return simulator.NewEngine(agents)
+}
+
+// PairTTR measures the time-to-rendezvous of two schedules: a wakes at
+// wakeA, b at wakeB, and the returned count is in slots after the later
+// wake. ok is false if they do not meet within horizon slots.
+func PairTTR(a, b Schedule, wakeA, wakeB, horizon int) (ttr int, ok bool) {
+	return simulator.PairTTR(a, b, wakeA, wakeB, horizon)
+}
+
+// AlignWake adapts a global-clock schedule (the beacon protocols, whose
+// permutations are functions of absolute time) to the engine's
+// local-clock convention; see NewBeaconFresh.
+func AlignWake(inner Schedule, wake int) Schedule {
+	return simulator.AlignWake(inner, wake)
+}

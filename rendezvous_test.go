@@ -1,0 +1,171 @@
+package rendezvous_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rendezvous"
+)
+
+// TestFacadeQuickstart exercises the package-doc example end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	n := 1024
+	a, err := rendezvous.New(n, []int{3, 90, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rendezvous.New(n, []int{90, 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttr, ok := rendezvous.PairTTR(a, b, 0, 17, 1_000_000)
+	if !ok {
+		t.Fatal("quickstart pair failed to rendezvous")
+	}
+	if ttr < 0 {
+		t.Fatalf("negative TTR %d", ttr)
+	}
+	// They may only ever meet on the one shared channel.
+	slot := 17 + ttr
+	if got := a.Channel(slot); got != 90 {
+		t.Fatalf("met on channel %d, want 90", got)
+	}
+}
+
+func TestFacadeSymmetricConstant(t *testing.T) {
+	s1, err := rendezvous.New(256, []int{8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := rendezvous.New(256, []int{8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wake := range []int{0, 1, 5, 99} {
+		ttr, ok := rendezvous.PairTTR(s1, s2, 0, wake, 10)
+		if !ok || ttr > 6 {
+			t.Fatalf("symmetric TTR = %d (ok=%v) at wake %d", ttr, ok, wake)
+		}
+	}
+}
+
+func TestFacadeEngine(t *testing.T) {
+	n := 64
+	mk := func(set []int) rendezvous.Schedule {
+		s, err := rendezvous.New(n, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	agents := []rendezvous.Agent{
+		{Name: "base", Sched: mk([]int{10, 20, 30}), Wake: 0},
+		{Name: "drone", Sched: mk([]int{20, 40}), Wake: 11},
+		{Name: "sensor", Sched: mk([]int{30, 40}), Wake: 23},
+	}
+	eng, err := rendezvous.NewEngine(agents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run(500_000)
+	for _, pair := range [][2]string{{"base", "drone"}, {"base", "sensor"}, {"drone", "sensor"}} {
+		if _, ok := res.Meeting(pair[0], pair[1]); !ok {
+			t.Errorf("pair %v never met", pair)
+		}
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	n := 32
+	set := []int{4, 9, 27}
+	for name, build := range map[string]func() (rendezvous.Schedule, error){
+		"crseq":      func() (rendezvous.Schedule, error) { return rendezvous.NewCRSEQ(n, set) },
+		"crseq-rand": func() (rendezvous.Schedule, error) { return rendezvous.NewCRSEQRandomized(n, set, 7) },
+		"crseq-sym":  func() (rendezvous.Schedule, error) { return rendezvous.NewCRSEQSymmetric(n, set) },
+		"jumpstay":   func() (rendezvous.Schedule, error) { return rendezvous.NewJumpStay(n, set) },
+		"random":     func() (rendezvous.Schedule, error) { return rendezvous.NewRandom(n, set, 3, 1<<16) },
+		"sweep":      func() (rendezvous.Schedule, error) { return rendezvous.NewSweep(n, set) },
+	} {
+		s, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Period() <= 0 {
+			t.Errorf("%s: non-positive period", name)
+		}
+		if got := s.Channel(0); got < 1 || got > n {
+			t.Errorf("%s: channel %d out of range", name, got)
+		}
+	}
+}
+
+func TestFacadeBeacon(t *testing.T) {
+	src := rendezvous.NewBeaconSource(42)
+	n := 512
+	a, err := rendezvous.NewBeaconWalk(n, []int{5, 100, 400}, src, rendezvous.BeaconConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rendezvous.NewBeaconWalk(n, []int{100, 222}, src, rendezvous.BeaconConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global clock: compare at absolute slots via AlignWake + engine.
+	eng, err := rendezvous.NewEngine([]rendezvous.Agent{
+		{Name: "a", Sched: rendezvous.AlignWake(a, 3), Wake: 3},
+		{Name: "b", Sched: rendezvous.AlignWake(b, 30), Wake: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run(100_000)
+	if _, ok := res.Meeting("a", "b"); !ok {
+		t.Fatal("beacon agents failed to meet")
+	}
+}
+
+func TestFacadeDynamic(t *testing.T) {
+	d, err := rendezvous.NewDynamic(64, []rendezvous.Phase{
+		{FromSlot: 0, Channels: []int{1, 2, 3}},
+		{FromSlot: 1000, Channels: []int{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Channel(1500) != 2 {
+		t.Fatalf("post-change channel = %d, want 2", d.Channel(1500))
+	}
+}
+
+func TestFacadeOneRound(t *testing.T) {
+	g, err := rendezvous.NewOneRoundGraph(4, [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 1}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rendezvous.SolveOneRound(g, rendezvous.OneRoundSDPOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InPairs < 1 {
+		t.Errorf("SDP found only %d in-pairs", res.InPairs)
+	}
+	_, best := rendezvous.BestRandomOrientation(g, rand.New(rand.NewSource(2)), 32)
+	if best < 1 {
+		t.Errorf("random baseline found %d in-pairs", best)
+	}
+	if res.InPairs < best {
+		t.Errorf("SDP (%d) should not lose to best-of-32 random (%d)", res.InPairs, best)
+	}
+}
+
+func TestFacadeRejectsBadInput(t *testing.T) {
+	if _, err := rendezvous.New(0, []int{1}); err == nil {
+		t.Error("n=0: expected error")
+	}
+	if _, err := rendezvous.New(8, nil); err == nil {
+		t.Error("empty set: expected error")
+	}
+	if _, err := rendezvous.NewGeneral(8, []int{9}); err == nil {
+		t.Error("out of range: expected error")
+	}
+}

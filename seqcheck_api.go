@@ -1,0 +1,36 @@
+package rendezvous
+
+import "rendezvous/internal/seqcheck"
+
+// CheckRotationClosure certifies the property a guaranteed-rendezvous
+// schedule pair must have: at EVERY relative wake offset in [0, limit)
+// the two schedules co-generate some common channel within one joint
+// period. It reports the first failing offset otherwise — the audit that
+// uncovered the CRSEQ counterexample in DESIGN.md. limit ≤ 0 scans one
+// full joint period (can be slow for long-period schedules).
+func CheckRotationClosure(a, b Schedule, limit int) (ok bool, failOffset int) {
+	return seqcheck.RotationClosure(a, b, limit)
+}
+
+// CheckFullDiagonalCoverage certifies the stronger sequence property:
+// every channel in the two schedules' intersection is co-generated at
+// every offset in [0, limit) — sufficient for rendezvous no matter which
+// single channel remains usable. On failure it returns a witness offset
+// and channel.
+func CheckFullDiagonalCoverage(a, b Schedule, limit int) (ok bool, failOffset, failChannel int) {
+	return seqcheck.FullDiagonalCoverage(a, b, limit)
+}
+
+// ChannelOccupancy returns per-channel slot counts over one period of
+// the schedule — the density Δ(h,σ;T)·T from the paper's Theorem-7
+// lower-bound argument.
+func ChannelOccupancy(s Schedule) map[int]int {
+	return seqcheck.Occupancy(s)
+}
+
+// ChannelBalance returns the max/min occupancy ratio across the
+// schedule's channels over one period (1 = perfectly fair usage). It
+// reports an error if a declared channel is never hopped.
+func ChannelBalance(s Schedule) (float64, error) {
+	return seqcheck.BalanceRatio(s)
+}

@@ -1,0 +1,77 @@
+package rendezvous_test
+
+import (
+	"testing"
+
+	"rendezvous"
+)
+
+func TestCheckRotationClosureOnFlagship(t *testing.T) {
+	a, err := rendezvous.NewGeneral(16, []int{2, 7, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rendezvous.NewGeneral(16, []int{7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, off := rendezvous.CheckRotationClosure(a, b, 300)
+	if !ok {
+		t.Fatalf("flagship failed closure at offset %d", off)
+	}
+}
+
+func TestCheckRotationClosureAuditsCRSEQ(t *testing.T) {
+	// The public audit API must rediscover the DESIGN.md counterexample.
+	a, err := rendezvous.NewCRSEQ(4, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rendezvous.NewCRSEQ(4, []int{1, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, off := rendezvous.CheckRotationClosure(a, b, 0)
+	if ok {
+		t.Fatal("CRSEQ audit unexpectedly passed")
+	}
+	if off < 0 {
+		t.Fatalf("bad witness offset %d", off)
+	}
+}
+
+func TestCheckFullDiagonalCoverage(t *testing.T) {
+	s, err := rendezvous.New(8, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, _ := rendezvous.CheckFullDiagonalCoverage(s, s, 20)
+	if !ok {
+		t.Fatal("single-channel schedule must have full coverage")
+	}
+}
+
+func TestChannelOccupancyAndBalance(t *testing.T) {
+	s, err := rendezvous.NewGeneral(32, []int{4, 9, 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := rendezvous.ChannelOccupancy(s)
+	total := 0
+	for ch, c := range occ {
+		if ch != 4 && ch != 9 && ch != 17 {
+			t.Fatalf("occupancy reports foreign channel %d", ch)
+		}
+		total += c
+	}
+	if total != s.Period() {
+		t.Fatalf("occupancy sums to %d, want period %d", total, s.Period())
+	}
+	ratio, err := rendezvous.ChannelBalance(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1 {
+		t.Fatalf("balance ratio %v < 1", ratio)
+	}
+}
