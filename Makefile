@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: build build-examples fmt-check vet test race bench bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+# Examples are main packages with no test files; build them explicitly
+# so CI catches bit-rot (the smoke test in examples/ then runs them).
+build-examples:
+	$(GO) build ./examples/...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# One iteration per benchmark: proves every bench still runs without
+# paying full measurement cost. CI uses this.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The exact sequence CI runs; keep local and CI invocations identical.
+ci: fmt-check vet build build-examples race bench-smoke

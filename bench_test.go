@@ -10,6 +10,7 @@ package rendezvous_test
 // and see EXPERIMENTS.md for the paper-vs-measured record.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -20,8 +21,11 @@ import (
 	"rendezvous/internal/experiments"
 	"rendezvous/internal/pairsched"
 	"rendezvous/internal/simulator"
+	"rendezvous/internal/sweep"
 )
 
+// benchCfg leaves Workers at 0 (one worker per CPU), so every
+// experiment bench exercises the sweep engine at full parallelism.
 var benchCfg = experiments.Config{Quick: true, Seed: 1}
 
 // sink defeats dead-code elimination in micro-benches.
@@ -110,6 +114,76 @@ func BenchmarkOneRoundSDP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rep := experiments.OneRound(benchCfg)
 		sink += len(rep.Rows)
+	}
+}
+
+// --- sweep-engine scaling --------------------------------------------
+
+// BenchmarkTable1AsymmetricWorkers measures the engine's speedup on the
+// Table 1 sweep: compare workers=1 against workers=4 (the reports are
+// byte-identical — only wall-clock may differ). On a single-core host
+// the curve is flat; on ≥4 cores workers=4 should run ≥2x faster.
+func BenchmarkTable1AsymmetricWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		cfg := experiments.Config{Quick: true, Seed: 1, Workers: w}
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink += len(experiments.Table1Asymmetric(cfg).Rows)
+			}
+		})
+	}
+}
+
+// BenchmarkSweepOffsetsWorkers isolates the chunked offset sweep on a
+// single large schedule pair.
+func BenchmarkSweepOffsetsWorkers(b *testing.B) {
+	a, err := rendezvous.New(1024, []int{3, 90, 512, 700})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := rendezvous.New(1024, []int{90, 400, 999})
+	if err != nil {
+		b.Fatal(err)
+	}
+	offsets := simulator.ExhaustiveOffsets(4096)
+	for _, w := range []int{1, 2, 4} {
+		r := sweep.Runner{Workers: w}
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := sweep.SweepOffsets(r, a, c, offsets, 1<<18)
+				sink += st.Max
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRunParallelWorkers measures the pairwise multi-agent
+// engine against the serial joint engine (BenchmarkEngineMultiAgent).
+func BenchmarkEngineRunParallelWorkers(b *testing.B) {
+	const n = 256
+	rng := rand.New(rand.NewSource(2))
+	var agents []rendezvous.Agent
+	for i := 0; i < 8; i++ {
+		w := simulator.RandomOverlappingPair(rng, n, 4, 4)
+		s, err := rendezvous.New(n, w.A)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agents = append(agents, rendezvous.Agent{
+			Name: string(rune('a' + i)), Sched: s, Wake: rng.Intn(500),
+		})
+	}
+	eng, err := rendezvous.NewEngine(agents)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := eng.RunParallel(50_000, w)
+				sink += len(res.Meetings())
+			}
+		})
 	}
 }
 

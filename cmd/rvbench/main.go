@@ -6,8 +6,13 @@
 //
 //	rvbench              # run everything at full scale
 //	rvbench -quick       # CI-sized sweeps
+//	rvbench -parallel 4  # bound the sweep engine's worker pool
 //	rvbench -exp t1-asym # one experiment: t1-asym t1-sym figures thm1
 //	                     # thm3 sym beacon lb-ramsey lb-async oneround multi
+//
+// Experiments run on the internal/sweep engine: reports are
+// byte-identical for a fixed -seed at any -parallel value (0 means one
+// worker per CPU).
 package main
 
 import (
@@ -32,10 +37,11 @@ func run(args []string, out io.Writer) error {
 	exp := fs.String("exp", "all", "experiment id (all, t1-asym, t1-sym, figures, thm1, thm3, sym, beacon, lb-ramsey, lb-async, oneround, multi)")
 	quick := fs.Bool("quick", false, "shrink sweeps to CI size")
 	seed := fs.Int64("seed", 1, "workload seed")
+	parallel := fs.Int("parallel", 0, "sweep workers (0 = one per CPU); results are identical at any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *parallel}
 	table := map[string]func(experiments.Config) *experiments.Report{
 		"t1-asym":   experiments.Table1Asymmetric,
 		"t1-sym":    experiments.Table1Symmetric,

@@ -41,3 +41,18 @@ func TestRunBadFlag(t *testing.T) {
 		t.Error("expected flag parse error")
 	}
 }
+
+// TestRunParallelFlagDeterministic: rvbench output is byte-identical
+// at any -parallel value for a fixed seed (the sweep engine invariant).
+func TestRunParallelFlagDeterministic(t *testing.T) {
+	var w1, w8 strings.Builder
+	if err := run([]string{"-exp", "t1-sym", "-quick", "-seed", "3", "-parallel", "1"}, &w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "t1-sym", "-quick", "-seed", "3", "-parallel", "8"}, &w8); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w8.String() {
+		t.Fatalf("-parallel 1 vs 8 diverged:\n%s\nvs\n%s", w1.String(), w8.String())
+	}
+}

@@ -8,6 +8,10 @@
 //
 // Algorithms: ours (default), general (no §3.2 wrapper), crseq,
 // crseq-rand, jumpstay, random, sweep, beacon-fresh, beacon-walk.
+//
+// -parallel bounds the worker pool of the pairwise simulation engine
+// (0 = one per CPU, 1 = the serial joint engine); the reported meetings
+// are identical at every setting.
 package main
 
 import (
@@ -80,6 +84,7 @@ func run(args []string, out io.Writer) error {
 	alg := fs.String("alg", "ours", "schedule algorithm")
 	horizon := fs.Int("horizon", 1_000_000, "simulation slots")
 	seed := fs.Uint64("seed", 1, "seed for randomized algorithms / beacon")
+	parallel := fs.Int("parallel", 0, "pairwise engine workers (0 = one per CPU, 1 = serial joint engine)")
 	var specs specList
 	fs.Var(&specs, "agent", "agent spec name=c1,c2[@wake] (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -102,7 +107,12 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res := eng.Run(*horizon)
+	var res *rendezvous.Result
+	if *parallel == 1 {
+		res = eng.Run(*horizon)
+	} else {
+		res = eng.RunParallel(*horizon, *parallel)
+	}
 
 	fmt.Fprintf(out, "universe n=%d  algorithm=%s  horizon=%d slots\n\n", *n, *alg, *horizon)
 	meetings := res.Meetings()

@@ -104,3 +104,29 @@ func TestRunErrors(t *testing.T) {
 		t.Error("out-of-range channel: expected error")
 	}
 }
+
+// TestRunParallelFlagDeterministic: the pairwise engine must print the
+// same meetings as the serial joint engine at every -parallel value.
+func TestRunParallelFlagDeterministic(t *testing.T) {
+	args := func(parallel string) []string {
+		return []string{
+			"-n", "64", "-horizon", "500000", "-parallel", parallel,
+			"-agent", "base=10,20,30",
+			"-agent", "drone=20,40@25",
+			"-agent", "sensor=30,40@90",
+		}
+	}
+	var serial strings.Builder
+	if err := run(args("1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"0", "2", "8"} {
+		var sb strings.Builder
+		if err := run(args(p), &sb); err != nil {
+			t.Fatalf("parallel=%s: %v", p, err)
+		}
+		if sb.String() != serial.String() {
+			t.Fatalf("parallel=%s output diverged from serial:\n%s\nvs\n%s", p, sb.String(), serial.String())
+		}
+	}
+}

@@ -10,12 +10,15 @@ import (
 	"rendezvous/internal/schedule"
 	"rendezvous/internal/simulator"
 	"rendezvous/internal/stats"
+	"rendezvous/internal/sweep"
 )
 
 // Beacon compares §5's two protocols against the deterministic flagship:
 // mean and p90 TTR as functions of n (fixed k) and of k (fixed n). The
 // shapes to reproduce: fresh ≈ (k+ℓ)·log n, walk ≈ k+ℓ+log n — and both
-// beat the deterministic Ω(kℓ) once sets are large.
+// beat the deterministic Ω(kℓ) once sets are large. Every (sweep point,
+// trial) is one engine job: the workload, wake offset, and beacon stream
+// are all functions of (seed, point, trial), never of execution order.
 func Beacon(cfg Config) *Report {
 	trials := 60
 	ns := []int{256, 1 << 12, 1 << 16}
@@ -25,54 +28,74 @@ func Beacon(cfg Config) *Report {
 		ns = ns[:2]
 		ksAtBigN = ksAtBigN[:3]
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 5))
 	rep := &Report{
 		ID:     "BEACON",
 		Title:  "§5 one-bit beacon: TTR vs n (k=4) and vs k (n=4096)",
 		Header: []string{"sweep", "value", "fresh mean", "fresh p90", "walk mean", "walk p90", "det mean"},
 	}
-	measure := func(n, k int) (freshT, walkT, detT []float64) {
-		for trial := 0; trial < trials; trial++ {
-			src := beacon.NewSource(uint64(cfg.Seed) + uint64(trial)*7919)
-			w := simulator.RandomOverlappingPair(rng, n, k, k)
-			fa, err1 := beacon.NewFresh(n, w.A, src, beacon.Config{})
-			fb, err2 := beacon.NewFresh(n, w.B, src, beacon.Config{})
-			wa, err3 := beacon.NewWalk(n, w.A, src, beacon.Config{})
-			wb, err4 := beacon.NewWalk(n, w.B, src, beacon.Config{})
-			da, err5 := schedule.NewAsync(n, w.A)
-			db, err6 := schedule.NewAsync(n, w.B)
-			if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil || err6 != nil {
-				continue
-			}
-			horizon := 1 << 20
-			wake := rng.Intn(200)
-			// Beacon protocols run on the global clock.
-			if t, ok := simulator.PairTTR(simulator.AlignWake(fa, 0), simulator.AlignWake(fb, wake), 0, wake, horizon); ok {
-				freshT = append(freshT, float64(t))
-			}
-			if t, ok := simulator.PairTTR(simulator.AlignWake(wa, 0), simulator.AlignWake(wb, wake), 0, wake, horizon); ok {
-				walkT = append(walkT, float64(t))
-			}
-			if t, ok := simulator.PairTTR(da, db, 0, wake, horizon); ok {
-				detT = append(detT, float64(t))
-			}
-		}
-		return
+	type point struct {
+		sweep string
+		n, k  int
+		val   int // the swept variable reported in the row
 	}
-	addRow := func(sweep string, val int, fr, wa, de []float64) {
-		fs, ws, ds := stats.Summarize(fr), stats.Summarize(wa), stats.Summarize(de)
-		rep.Rows = append(rep.Rows, []string{
-			sweep, itoa(val),
-			ftoa(fs.Mean), ftoa(fs.P90), ftoa(ws.Mean), ftoa(ws.P90), ftoa(ds.Mean),
-		})
-	}
+	var points []point
 	for _, n := range ns {
-		fr, wa, de := measure(n, 4)
-		addRow("n (k=4)", n, fr, wa, de)
+		points = append(points, point{"n (k=4)", n, 4, n})
 	}
 	for _, k := range ksAtBigN {
-		fr, wa, de := measure(1<<12, k)
-		addRow("k (n=4096)", k, fr, wa, de)
+		points = append(points, point{"k (n=4096)", 1 << 12, k, k})
+	}
+	type trialCell struct {
+		freshOK, walkOK, detOK bool
+		fresh, walk, det       float64
+	}
+	cells := sweep.MapRNG(cfg.runner(600), len(points)*trials, func(i int, jrng *rand.Rand) trialCell {
+		pt := points[i/trials]
+		trial := i % trials
+		var c trialCell
+		src := beacon.NewSource(uint64(cfg.Seed) + uint64(trial)*7919)
+		w := simulator.RandomOverlappingPair(jrng, pt.n, pt.k, pt.k)
+		fa, err1 := beacon.NewFresh(pt.n, w.A, src, beacon.Config{})
+		fb, err2 := beacon.NewFresh(pt.n, w.B, src, beacon.Config{})
+		wa, err3 := beacon.NewWalk(pt.n, w.A, src, beacon.Config{})
+		wb, err4 := beacon.NewWalk(pt.n, w.B, src, beacon.Config{})
+		da, err5 := schedule.NewAsync(pt.n, w.A)
+		db, err6 := schedule.NewAsync(pt.n, w.B)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil || err6 != nil {
+			return c
+		}
+		horizon := 1 << 20
+		wake := jrng.Intn(200)
+		// Beacon protocols run on the global clock.
+		if t, ok := simulator.PairTTR(simulator.AlignWake(fa, 0), simulator.AlignWake(fb, wake), 0, wake, horizon); ok {
+			c.freshOK, c.fresh = true, float64(t)
+		}
+		if t, ok := simulator.PairTTR(simulator.AlignWake(wa, 0), simulator.AlignWake(wb, wake), 0, wake, horizon); ok {
+			c.walkOK, c.walk = true, float64(t)
+		}
+		if t, ok := simulator.PairTTR(da, db, 0, wake, horizon); ok {
+			c.detOK, c.det = true, float64(t)
+		}
+		return c
+	})
+	for pi, pt := range points {
+		var fr, wa, de []float64
+		for _, c := range cells[pi*trials : (pi+1)*trials] {
+			if c.freshOK {
+				fr = append(fr, c.fresh)
+			}
+			if c.walkOK {
+				wa = append(wa, c.walk)
+			}
+			if c.detOK {
+				de = append(de, c.det)
+			}
+		}
+		fs, ws, ds := stats.Summarize(fr), stats.Summarize(wa), stats.Summarize(de)
+		rep.Rows = append(rep.Rows, []string{
+			pt.sweep, itoa(pt.val),
+			ftoa(fs.Mean), ftoa(fs.P90), ftoa(ws.Mean), ftoa(ws.P90), ftoa(ds.Mean),
+		})
 	}
 	rep.Notes = append(rep.Notes,
 		"paper: fresh O((k+ℓ)log n); walk O(k+ℓ+log n) — walk's n-dependence must flatten;",
@@ -83,15 +106,17 @@ func Beacon(cfg Config) *Report {
 // LowerBoundRamsey regenerates the Theorem-4 evidence: exact optimal
 // synchronous word lengths for tiny universes (ground truth from
 // exhaustive search), a failure witness for an undersized family, and
-// path-freeness of the paper's construction.
+// path-freeness of the paper's construction. The exhaustive searches
+// for the per-n rows run as parallel engine jobs.
 func LowerBoundRamsey(cfg Config) *Report {
 	rep := &Report{
 		ID:     "LB-RAMSEY",
 		Title:  "Theorem 4 evidence: exact Rs-opt(n,2), failure witnesses, path-freeness",
 		Header: []string{"n", "Rs-opt(n,2)", "construction len", "mono path in construction?"},
 	}
-	maxN := 4
-	for n := 2; n <= maxN; n++ {
+	ns := []int{2, 3, 4}
+	rep.Rows = sweep.Map(cfg.runner(700), len(ns), func(i int) []string {
+		n := ns[i]
 		opt, ok, err := lowerbound.MinSyncWordLength(n, 5)
 		optStr := "?"
 		if err == nil && ok {
@@ -105,17 +130,17 @@ func LowerBoundRamsey(cfg Config) *Report {
 			return w.String()
 		}
 		_, _, _, found := lowerbound.FindMonochromaticPath(n, fam)
-		rep.Rows = append(rep.Rows, []string{
-			itoa(n), optStr, itoa(pairsched.SyncWordLen(n)), fmt.Sprintf("%v", found),
-		})
-	}
+		return []string{itoa(n), optStr, itoa(pairsched.SyncWordLen(n)), fmt.Sprintf("%v", found)}
+	})
 	// Failure witness: a single-word family on a larger universe.
 	a, b, c, found := lowerbound.FindMonochromaticPath(64, func(int, int) string { return "0110" })
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("constant family on n=64: monochromatic path found=%v at (%d<%d<%d) — rendezvous impossible for that pair.", found, a, b, c),
 		"paper: any m-coloring of K_n has a monochromatic triangle once n ≥ e·m!; Rs grows as Ω(log log n).")
 	// Path-freeness of the asynchronous words too.
-	for _, n := range []int{64, 256} {
+	asyncNs := []int{64, 256}
+	rep.Notes = append(rep.Notes, sweep.Map(cfg.runner(750), len(asyncNs), func(i int) string {
+		n := asyncNs[i]
 		fam := func(x, y int) string {
 			w, err := pairsched.Word(n, x, y)
 			if err != nil {
@@ -124,16 +149,16 @@ func LowerBoundRamsey(cfg Config) *Report {
 			return w.String()
 		}
 		_, _, _, bad := lowerbound.FindMonochromaticPath(n, fam)
-		rep.Notes = append(rep.Notes,
-			fmt.Sprintf("async word family path-free at n=%d: %v", n, !bad))
-	}
+		return fmt.Sprintf("async word family path-free at n=%d: %v", n, !bad)
+	})...)
 	return rep
 }
 
 // LowerBoundAsync instantiates the Theorem-7 density argument on the
 // flagship schedules: the meeting-pair count for the shared channel must
 // cover all wake offsets, which forces TTR = Ω(kℓ); our measured TTR
-// sits between kℓ and the O(kℓ log log n) bound.
+// sits between kℓ and the O(kℓ log log n) bound. One engine job per
+// (n, k) cell.
 func LowerBoundAsync(cfg Config) *Report {
 	rng := rand.New(rand.NewSource(cfg.Seed + 6))
 	rep := &Report{
@@ -147,28 +172,41 @@ func LowerBoundAsync(cfg Config) *Report {
 		ns = ns[:1]
 		ks = ks[:2]
 	}
+	type lbJob struct {
+		n, k int
+		w    simulator.PairWorkload
+	}
+	var jobs []lbJob
 	for _, n := range ns {
 		for _, k := range ks {
-			w := simulator.RandomPairWithIntersection(rng, n, k, k, 1)
-			sa, err := schedule.NewGeneral(n, w.A)
-			if err != nil {
-				continue
-			}
-			sb, err := schedule.NewGeneral(n, w.B)
-			if err != nil {
-				continue
-			}
-			shared := sharedChannel(w.A, w.B)
-			bound := sa.RendezvousBound(k)
-			st := simulator.SweepOffsets(sa, sb,
-				simulator.SampledOffsets(rng, sa.Period(), 16), bound+1)
-			r := bound
-			R := 4 * r
-			pairs := lowerbound.MeetingPairs(sa, sb, shared, R, r)
-			rep.Rows = append(rep.Rows, []string{
-				itoa(n), itoa(k), itoa(k * k), itoa(st.Max), itoa(bound),
-				fmt.Sprintf("%v (%d ≥ %d)", pairs >= R-r, pairs, R-r),
-			})
+			jobs = append(jobs, lbJob{n, k, simulator.RandomPairWithIntersection(rng, n, k, k, 1)})
+		}
+	}
+	rows := sweep.MapRNG(cfg.runner(800), len(jobs), func(i int, jrng *rand.Rand) []string {
+		j := jobs[i]
+		sa, err := schedule.NewGeneral(j.n, j.w.A)
+		if err != nil {
+			return nil
+		}
+		sb, err := schedule.NewGeneral(j.n, j.w.B)
+		if err != nil {
+			return nil
+		}
+		shared := sharedChannel(j.w.A, j.w.B)
+		bound := sa.RendezvousBound(j.k)
+		st := simulator.SweepOffsets(sa, sb,
+			simulator.SampledOffsets(jrng, sa.Period(), 16), bound+1)
+		r := bound
+		R := 4 * r
+		pairs := lowerbound.MeetingPairs(sa, sb, shared, R, r)
+		return []string{
+			itoa(j.n), itoa(j.k), itoa(j.k * j.k), itoa(st.Max), itoa(bound),
+			fmt.Sprintf("%v (%d ≥ %d)", pairs >= R-r, pairs, R-r),
+		}
+	})
+	for _, row := range rows {
+		if row != nil {
+			rep.Rows = append(rep.Rows, row)
 		}
 	}
 	rep.Notes = append(rep.Notes,

@@ -3,10 +3,12 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"rendezvous/internal/baselines"
 	"rendezvous/internal/schedule"
 	"rendezvous/internal/simulator"
+	"rendezvous/internal/sweep"
 )
 
 // MultiAgent measures network-wide discovery: N agents with random
@@ -15,7 +17,9 @@ import (
 // guarantees; because its schedules are anonymous and deterministic the
 // pairwise bound extends to fleets for free (any pair meets within its
 // own bound of the later wake), and this experiment shows the resulting
-// completion times against the baselines.
+// completion times against the baselines. Each (fleet size, trial) is
+// one engine job that derives its whole population — hub channel, sets,
+// wake times — from its private RNG, then runs all four algorithms.
 func MultiAgent(cfg Config) *Report {
 	agentCounts := []int{4, 8, 16}
 	trials := 5
@@ -27,7 +31,6 @@ func MultiAgent(cfg Config) *Report {
 		n = 128
 		k = 4
 	)
-	rng := rand.New(rand.NewSource(cfg.Seed + 8))
 	rep := &Report{
 		ID:     "MULTI",
 		Title:  "Network discovery: slots until every overlapping pair has met (n=128, k=4)",
@@ -48,44 +51,51 @@ func MultiAgent(cfg Config) *Report {
 		},
 	}
 	order := []string{"ours", "crseq-rand", "jumpstay", "random"}
-	for _, agents := range agentCounts {
-		worst := map[string]int{}
-		for trial := 0; trial < trials; trial++ {
-			// A connected-ish population: everyone shares one hub channel
-			// with probability ~1/2, plus random extras.
-			hub := 1 + rng.Intn(n)
-			sets := make([][]int, agents)
-			wakes := make([]int, agents)
-			for i := range sets {
-				if rng.Intn(2) == 0 {
-					sets[i] = randomSetContaining(rng, n, k, hub)
-				} else {
-					sets[i] = randomSetContaining(rng, n, k, 1+rng.Intn(n))
-				}
-				wakes[i] = rng.Intn(2000)
+	completions := sweep.MapRNG(cfg.runner(1000), len(agentCounts)*trials, func(i int, jrng *rand.Rand) map[string]int {
+		agents := agentCounts[i/trials]
+		// A connected-ish population: everyone shares one hub channel
+		// with probability ~1/2, plus random extras.
+		hub := 1 + jrng.Intn(n)
+		sets := make([][]int, agents)
+		wakes := make([]int, agents)
+		for a := range sets {
+			if jrng.Intn(2) == 0 {
+				sets[a] = randomSetContaining(jrng, n, k, hub)
+			} else {
+				sets[a] = randomSetContaining(jrng, n, k, 1+jrng.Intn(n))
 			}
-			for _, name := range order {
-				specs := make([]simulator.Agent, agents)
-				bad := false
-				for i := range sets {
-					s, err := builders[name](sets[i], i)
-					if err != nil {
-						bad = true
-						break
-					}
-					specs[i] = simulator.Agent{Name: fmt.Sprintf("a%d", i), Sched: s, Wake: wakes[i]}
-				}
-				if bad {
-					continue
-				}
-				eng, err := simulator.NewEngine(specs)
+			wakes[a] = jrng.Intn(2000)
+		}
+		done := map[string]int{}
+		for _, name := range order {
+			specs := make([]simulator.Agent, agents)
+			bad := false
+			for a := range sets {
+				s, err := builders[name](sets[a], a)
 				if err != nil {
-					continue
+					bad = true
+					break
 				}
-				res := eng.Run(1 << 19)
-				done := completionSlot(res, specs)
-				if done > worst[name] {
-					worst[name] = done
+				specs[a] = simulator.Agent{Name: fmt.Sprintf("a%d", a), Sched: s, Wake: wakes[a]}
+			}
+			if bad {
+				continue
+			}
+			eng, err := simulator.NewEngine(specs)
+			if err != nil {
+				continue
+			}
+			res := eng.Run(1 << 19)
+			done[name] = completionSlot(res, specs)
+		}
+		return done
+	})
+	for ci, agents := range agentCounts {
+		worst := map[string]int{}
+		for _, done := range completions[ci*trials : (ci+1)*trials] {
+			for name, slot := range done {
+				if slot > worst[name] {
+					worst[name] = slot
 				}
 			}
 		}
@@ -146,5 +156,7 @@ func randomSetContaining(rng *rand.Rand, n, k, contains int) []int {
 	for c := range set {
 		out = append(out, c)
 	}
+	// Sorted so the report never depends on map iteration order.
+	sort.Ints(out)
 	return out
 }

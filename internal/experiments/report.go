@@ -9,12 +9,25 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"rendezvous/internal/sweep"
 )
 
 // Config tunes experiment scale. Quick shrinks sweeps to CI size.
+// Workers bounds the sweep engine's worker pool (≤0 means GOMAXPROCS);
+// every experiment is byte-identical at any worker count for a fixed
+// Seed — see internal/sweep.
 type Config struct {
-	Quick bool
-	Seed  int64
+	Quick   bool
+	Seed    int64
+	Workers int
+}
+
+// runner returns the sweep engine for one parallel phase. stream
+// namespaces the per-job RNG derivation so distinct phases of one
+// experiment (or distinct experiments) never share job streams.
+func (c Config) runner(stream int64) sweep.Runner {
+	return sweep.Runner{Workers: c.Workers, Seed: c.Seed + stream}
 }
 
 // Report is a rendered experiment: a titled table plus free-form notes

@@ -9,6 +9,7 @@ import (
 	"rendezvous/internal/schedule"
 	"rendezvous/internal/simulator"
 	"rendezvous/internal/stats"
+	"rendezvous/internal/sweep"
 )
 
 // Table1Asymmetric regenerates the asymmetric column of Table 1.
@@ -23,6 +24,11 @@ import (
 // channel subsets the oblivious baselines behave quasi-randomly and are
 // often fast on average despite their weak guarantees. The crossover
 // note reports where our guarantee overtakes each baseline's.
+//
+// The expensive per-pair measurements run on the sweep engine: pair
+// workloads are drawn serially from the master stream, then each pair is
+// measured by a job whose offset sampling uses an RNG derived from
+// (seed, job index) alone, so the report is identical at any Workers.
 func Table1Asymmetric(cfg Config) *Report {
 	ns := []int{8, 16, 32, 64, 128}
 	pairsPerN, offsetsPerPair := 6, 24
@@ -38,53 +44,100 @@ func Table1Asymmetric(cfg Config) *Report {
 			"js bound", "js max", "random mean"},
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	var xs, oursBound, crseqBound, jsBound []float64
+	type pairJob struct {
+		n, kk, p int
+		w        simulator.PairWorkload
+	}
+	var jobs []pairJob
 	for _, n := range ns {
 		kk := min(k, n/2)
 		if kk < 1 {
 			kk = 1
 		}
+		for p := 0; p < pairsPerN; p++ {
+			jobs = append(jobs, pairJob{n, kk, p, simulator.RandomPairWithIntersection(rng, n, kk, kk, 1)})
+		}
+	}
+
+	type pairCell struct {
+		oursOK           bool
+		oursB, oursMax   int
+		crseqOK          bool
+		crseqB, crseqMax int
+		crseqFails       int
+		jsOK             bool
+		jsB, jsMax       int
+		randomOK         bool
+		randomMean       float64
+	}
+	cells := sweep.MapRNG(cfg.runner(100), len(jobs), func(i int, jrng *rand.Rand) pairCell {
+		j := jobs[i]
+		var c pairCell
+
+		ga, err1 := schedule.NewGeneral(j.n, j.w.A)
+		gb, err2 := schedule.NewGeneral(j.n, j.w.B)
+		if err1 != nil || err2 != nil {
+			return c
+		}
+		c.oursOK = true
+		c.oursB = ga.RendezvousBound(j.kk)
+		st := simulator.SweepOffsets(ga, gb,
+			simulator.SampledOffsets(jrng, ga.Period(), offsetsPerPair), c.oursB+1)
+		c.oursMax = st.Max
+
+		ca, err1 := baselines.NewCRSEQ(j.n, j.w.A)
+		cb, err2 := baselines.NewCRSEQ(j.n, j.w.B)
+		if err1 == nil && err2 == nil {
+			c.crseqOK = true
+			c.crseqB = ca.Period()
+			st = simulator.SweepOffsets(ca, cb,
+				simulator.SampledOffsets(jrng, ca.Period(), offsetsPerPair), 4*c.crseqB)
+			c.crseqMax = st.Max
+			c.crseqFails = st.Failures
+		}
+
+		ja, err1 := baselines.NewJumpStay(j.n, j.w.A)
+		jb, err2 := baselines.NewJumpStay(j.n, j.w.B)
+		if err1 == nil && err2 == nil {
+			c.jsOK = true
+			c.jsB = ja.Period()
+			st = simulator.SweepOffsets(ja, jb,
+				simulator.SampledOffsets(jrng, ja.Period(), offsetsPerPair), c.jsB)
+			c.jsMax = st.Max
+		}
+
+		ra, err1 := baselines.NewRandom(j.n, j.w.A, uint64(cfg.Seed)+uint64(j.p)*2+1, 1<<22)
+		rb, err2 := baselines.NewRandom(j.n, j.w.B, uint64(cfg.Seed)+uint64(j.p)*2+2, 1<<22)
+		if err1 == nil && err2 == nil {
+			c.randomOK = true
+			st = simulator.SweepOffsets(ra, rb,
+				simulator.SampledOffsets(jrng, 1<<16, offsetsPerPair), 1<<18)
+			c.randomMean = st.Mean()
+		}
+		return c
+	})
+
+	var xs, oursBound, crseqBound, jsBound []float64
+	for ni, n := range ns {
 		var oursB, oursMax, crseqB, crseqMax, crseqFails, jsB, jsMax int
 		var randomSum float64
 		var randomN int
-		for p := 0; p < pairsPerN; p++ {
-			w := simulator.RandomPairWithIntersection(rng, n, kk, kk, 1)
-
-			ga, err1 := schedule.NewGeneral(n, w.A)
-			gb, err2 := schedule.NewGeneral(n, w.B)
-			if err1 != nil || err2 != nil {
-				continue
+		for _, c := range cells[ni*pairsPerN : (ni+1)*pairsPerN] {
+			if c.oursOK {
+				oursB = c.oursB
+				oursMax = maxInt(oursMax, c.oursMax)
 			}
-			oursB = ga.RendezvousBound(kk)
-			st := simulator.SweepOffsets(ga, gb,
-				simulator.SampledOffsets(rng, ga.Period(), offsetsPerPair), oursB+1)
-			oursMax = maxInt(oursMax, st.Max)
-
-			ca, err1 := baselines.NewCRSEQ(n, w.A)
-			cb, err2 := baselines.NewCRSEQ(n, w.B)
-			if err1 == nil && err2 == nil {
-				crseqB = ca.Period()
-				st = simulator.SweepOffsets(ca, cb,
-					simulator.SampledOffsets(rng, ca.Period(), offsetsPerPair), 4*crseqB)
-				crseqMax = maxInt(crseqMax, st.Max)
-				crseqFails += st.Failures
+			if c.crseqOK {
+				crseqB = c.crseqB
+				crseqMax = maxInt(crseqMax, c.crseqMax)
+				crseqFails += c.crseqFails
 			}
-
-			ja, err1 := baselines.NewJumpStay(n, w.A)
-			jb, err2 := baselines.NewJumpStay(n, w.B)
-			if err1 == nil && err2 == nil {
-				jsB = ja.Period()
-				st = simulator.SweepOffsets(ja, jb,
-					simulator.SampledOffsets(rng, ja.Period(), offsetsPerPair), jsB)
-				jsMax = maxInt(jsMax, st.Max)
+			if c.jsOK {
+				jsB = c.jsB
+				jsMax = maxInt(jsMax, c.jsMax)
 			}
-
-			ra, err1 := baselines.NewRandom(n, w.A, uint64(cfg.Seed)+uint64(p)*2+1, 1<<22)
-			rb, err2 := baselines.NewRandom(n, w.B, uint64(cfg.Seed)+uint64(p)*2+2, 1<<22)
-			if err1 == nil && err2 == nil {
-				st = simulator.SweepOffsets(ra, rb,
-					simulator.SampledOffsets(rng, 1<<16, offsetsPerPair), 1<<18)
-				randomSum += st.Mean()
+			if c.randomOK {
+				randomSum += c.randomMean
 				randomN++
 			}
 		}
@@ -101,11 +154,14 @@ func Table1Asymmetric(cfg Config) *Report {
 		crseqBound = append(crseqBound, float64(crseqB))
 		jsBound = append(jsBound, float64(jsB))
 	}
-	for name, ys := range map[string][]float64{
-		"ours": oursBound, "crseq": crseqBound, "jumpstay": jsBound,
-	} {
-		if e, _, err := stats.FitPowerLaw(xs, ys); err == nil {
-			rep.Notes = append(rep.Notes, fmt.Sprintf("guarantee fit: %-8s bound ~ n^%.2f", name, e))
+	// Fixed order: ranging over a map here would shuffle the notes
+	// between runs and break byte-identical reports.
+	for _, fit := range []struct {
+		name string
+		ys   []float64
+	}{{"ours", oursBound}, {"crseq", crseqBound}, {"jumpstay", jsBound}} {
+		if e, _, err := stats.FitPowerLaw(xs, fit.ys); err == nil {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("guarantee fit: %-8s bound ~ n^%.2f", fit.name, e))
 		}
 	}
 	rep.Notes = append(rep.Notes, asciiplot.Lines("guarantee bounds vs n", 56, 12, []asciiplot.Series{
@@ -144,7 +200,8 @@ func maxInt(a, b int) int {
 // Table1Symmetric regenerates the symmetric column: both agents hold the
 // identical full channel set [n]. Here measurements are undistorted by
 // remapping, so measured maxima are the primary data. Expected shapes:
-// ours O(1) (≤ 6 slots), Jump-Stay O(n), CRSEQ O(n²).
+// ours O(1) (≤ 6 slots), Jump-Stay O(n), CRSEQ O(n²). Each (n,
+// algorithm) cell is one sweep-engine job with its own derived RNG.
 func Table1Symmetric(cfg Config) *Report {
 	ns := []int{8, 16, 32, 64, 128, 256}
 	offsets := 40
@@ -158,27 +215,43 @@ func Table1Symmetric(cfg Config) *Report {
 		Title:  "Table 1, symmetric column: max TTR, identical full sets",
 		Header: append([]string{"n"}, order...),
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 2))
-	curves := map[string][]float64{}
-	for _, n := range ns {
-		full := simulator.FullSet(n)
-		build := map[string]func() (schedule.Schedule, error){
-			"ours":     func() (schedule.Schedule, error) { return schedule.NewAsync(n, full) },
-			"crseq":    func() (schedule.Schedule, error) { return baselines.NewCRSEQ(n, full) },
-			"jumpstay": func() (schedule.Schedule, error) { return baselines.NewJumpStay(n, full) },
+	build := func(name string, n int, full []int) (schedule.Schedule, error) {
+		switch name {
+		case "ours":
+			return schedule.NewAsync(n, full)
+		case "crseq":
+			return baselines.NewCRSEQ(n, full)
+		default:
+			return baselines.NewJumpStay(n, full)
 		}
+	}
+	type symCell struct {
+		ok  bool
+		max int
+	}
+	cells := sweep.MapRNG(cfg.runner(200), len(ns)*len(order), func(i int, jrng *rand.Rand) symCell {
+		n := ns[i/len(order)]
+		name := order[i%len(order)]
+		s, err := build(name, n, simulator.FullSet(n))
+		if err != nil {
+			return symCell{}
+		}
+		horizon := 4 * s.Period()
+		offs := simulator.SampledOffsets(jrng, s.Period(), offsets)
+		st := simulator.SweepOffsets(s, s, offs, horizon)
+		return symCell{ok: true, max: st.Max}
+	})
+	curves := map[string][]float64{}
+	for ni, n := range ns {
 		row := []string{itoa(n)}
-		for _, name := range order {
-			s, err := build[name]()
-			if err != nil {
+		for ai, name := range order {
+			c := cells[ni*len(order)+ai]
+			if !c.ok {
 				row = append(row, "err")
 				continue
 			}
-			horizon := 4 * s.Period()
-			offs := simulator.SampledOffsets(rng, s.Period(), offsets)
-			st := simulator.SweepOffsets(s, s, offs, horizon)
-			row = append(row, itoa(st.Max))
-			curves[name] = append(curves[name], float64(st.Max+1))
+			row = append(row, itoa(c.max))
+			curves[name] = append(curves[name], float64(c.max+1))
 		}
 		rep.Rows = append(rep.Rows, row)
 	}

@@ -11,6 +11,7 @@ import (
 	"rendezvous/internal/schedule"
 	"rendezvous/internal/simulator"
 	"rendezvous/internal/stats"
+	"rendezvous/internal/sweep"
 )
 
 // Figures regenerates the paper's three construction figures as ASCII
@@ -52,7 +53,8 @@ func Figures(Config) *Report {
 
 // Theorem1 measures the pair-schedule guarantee: the exact worst TTR
 // over adversarial size-two pairs and ALL cyclic offsets, against the
-// word length |R| = O(log log n).
+// word length |R| = O(log log n). The sweep is fully deterministic, so
+// the engine fans out over (n, adversarial pair) with no per-job RNG.
 func Theorem1(cfg Config) *Report {
 	ns := []int{4, 16, 256, 1 << 12, 1 << 16, 1 << 20}
 	if cfg.Quick {
@@ -63,25 +65,29 @@ func Theorem1(cfg Config) *Report {
 		Title:  "Theorem 1: size-two sets — worst TTR over all offsets vs |R(n)|",
 		Header: []string{"n", "|R| (bound)", "worst TTR", "log2log2(n)"},
 	}
+	r := cfg.runner(300)
 	for _, n := range ns {
 		period := pairsched.WordLen(n)
-		worst := 0
-		for _, w := range simulator.AdversarialPairs(n) {
+		pairs := simulator.AdversarialPairs(n)
+		maxima := sweep.Map(r, len(pairs), func(i int) int {
+			w := pairs[i]
 			if len(w.A) != 2 || len(w.B) != 2 {
-				continue
+				return 0
 			}
 			pa, err := pairsched.New(n, w.A[0], w.A[1])
 			if err != nil {
-				continue
+				return 0
 			}
 			pb, err := pairsched.New(n, w.B[0], w.B[1])
 			if err != nil {
-				continue
+				return 0
 			}
 			st := simulator.SweepOffsets(pa, pb, simulator.ExhaustiveOffsets(period), period+1)
-			if st.Max > worst {
-				worst = st.Max
-			}
+			return st.Max
+		})
+		worst := 0
+		for _, m := range maxima {
+			worst = maxInt(worst, m)
 		}
 		rep.Rows = append(rep.Rows, []string{
 			itoa(n), itoa(period), itoa(worst), ftoa(log2log2(n)),
@@ -106,7 +112,8 @@ func log2log2(n int) float64 {
 
 // Theorem3 measures the general-schedule guarantee two ways: TTR vs the
 // product |A||B| at fixed n (expected linear), and TTR vs n at fixed
-// |A| = |B| (expected near-flat, the log log factor).
+// |A| = |B| (expected near-flat, the log log factor). Workloads are
+// drawn serially; the per-pair sweeps run on the engine.
 func Theorem3(cfg Config) *Report {
 	n0 := 1024
 	ks := []int{1, 2, 4, 8, 16}
@@ -121,26 +128,52 @@ func Theorem3(cfg Config) *Report {
 		Title:  "Theorem 3: general sets — max TTR vs |A||B| (n=1024) and vs n (k=4)",
 		Header: []string{"sweep", "value", "max TTR", "analytic bound"},
 	}
-	var xs, ys []float64
-	for _, k := range ks {
-		worst, bound := 0, 0
-		for p := 0; p < pairs; p++ {
-			w := simulator.RandomOverlappingPair(rng, n0, k, k)
-			sa, err := schedule.NewGeneral(n0, w.A)
+	type thmJob struct {
+		n, k int
+		w    simulator.PairWorkload
+	}
+	type thmCell struct {
+		ok         bool
+		max, bound int
+	}
+	measure := func(stream int64, jobs []thmJob) []thmCell {
+		return sweep.MapRNG(cfg.runner(stream), len(jobs), func(i int, jrng *rand.Rand) thmCell {
+			j := jobs[i]
+			sa, err := schedule.NewGeneral(j.n, j.w.A)
 			if err != nil {
-				continue
+				return thmCell{}
 			}
-			sb, err := schedule.NewGeneral(n0, w.B)
+			sb, err := schedule.NewGeneral(j.n, j.w.B)
 			if err != nil {
-				continue
+				return thmCell{}
 			}
-			bound = sa.RendezvousBound(k)
+			bound := sa.RendezvousBound(j.k)
 			st := simulator.SweepOffsets(sa, sb,
-				simulator.SampledOffsets(rng, sa.Period(), offsets), bound+1)
-			if st.Max > worst {
-				worst = st.Max
+				simulator.SampledOffsets(jrng, sa.Period(), offsets), bound+1)
+			return thmCell{ok: true, max: st.Max, bound: bound}
+		})
+	}
+	reduce := func(cells []thmCell) (worst, bound int) {
+		for _, c := range cells {
+			if !c.ok {
+				continue
 			}
+			worst = maxInt(worst, c.max)
+			bound = c.bound
 		}
+		return
+	}
+
+	var kJobs []thmJob
+	for _, k := range ks {
+		for p := 0; p < pairs; p++ {
+			kJobs = append(kJobs, thmJob{n0, k, simulator.RandomOverlappingPair(rng, n0, k, k)})
+		}
+	}
+	kCells := measure(400, kJobs)
+	var xs, ys []float64
+	for ki, k := range ks {
+		worst, bound := reduce(kCells[ki*pairs : (ki+1)*pairs])
 		rep.Rows = append(rep.Rows, []string{"k=|A|=|B|", itoa(k), itoa(worst), itoa(bound)})
 		if k >= 2 {
 			// k = 1 pairs often meet instantly (constant schedules) and
@@ -152,26 +185,18 @@ func Theorem3(cfg Config) *Report {
 	if e, _, err := stats.FitPowerLaw(xs, ys); err == nil {
 		rep.Notes = append(rep.Notes, fmt.Sprintf("fit (k≥2): maxTTR ~ (|A||B|)^%.2f (paper: linear ⇒ exponent ≈ 1)", e))
 	}
-	for _, n := range []int{64, 1024, 1 << 16} {
-		const k = 4
-		worst, bound := 0, 0
+
+	nsSweep := []int{64, 1024, 1 << 16}
+	const k = 4
+	var nJobs []thmJob
+	for _, n := range nsSweep {
 		for p := 0; p < pairs; p++ {
-			w := simulator.RandomOverlappingPair(rng, n, k, k)
-			sa, err := schedule.NewGeneral(n, w.A)
-			if err != nil {
-				continue
-			}
-			sb, err := schedule.NewGeneral(n, w.B)
-			if err != nil {
-				continue
-			}
-			bound = sa.RendezvousBound(k)
-			st := simulator.SweepOffsets(sa, sb,
-				simulator.SampledOffsets(rng, sa.Period(), offsets), bound+1)
-			if st.Max > worst {
-				worst = st.Max
-			}
+			nJobs = append(nJobs, thmJob{n, k, simulator.RandomOverlappingPair(rng, n, k, k)})
 		}
+	}
+	nCells := measure(450, nJobs)
+	for ni, n := range nsSweep {
+		worst, bound := reduce(nCells[ni*pairs : (ni+1)*pairs])
 		rep.Rows = append(rep.Rows, []string{"n (k=4)", itoa(n), itoa(worst), itoa(bound)})
 	}
 	rep.Notes = append(rep.Notes,
@@ -180,7 +205,8 @@ func Theorem3(cfg Config) *Report {
 }
 
 // SymmetricWrapper measures §3.2: the O(1) symmetric meeting time and
-// the ≤12× asymmetric overhead of the wrapper.
+// the ≤12× asymmetric overhead of the wrapper. One sweep-engine job per
+// universe size.
 func SymmetricWrapper(cfg Config) *Report {
 	rng := rand.New(rand.NewSource(cfg.Seed + 4))
 	ns := []int{16, 256, 1 << 12, 1 << 16}
@@ -192,31 +218,46 @@ func SymmetricWrapper(cfg Config) *Report {
 		Title:  "§3.2 wrapper: symmetric TTR (must be ≤ 6) and asymmetric blowup",
 		Header: []string{"n", "sym max TTR", "inner asym max", "wrapped asym max", "blowup"},
 	}
-	for _, n := range ns {
-		const k = 4
-		set := simulator.RandomOverlappingPair(rng, n, k, k)
+	const k = 4
+	sets := make([]simulator.PairWorkload, len(ns))
+	for i, n := range ns {
+		sets[i] = simulator.RandomOverlappingPair(rng, n, k, k)
+	}
+	type symRow struct {
+		ok                        bool
+		symMax, innerMax, wrapMax int
+	}
+	rows := sweep.MapRNG(cfg.runner(500), len(ns), func(i int, jrng *rand.Rand) symRow {
+		n, set := ns[i], sets[i]
 		inner, err := schedule.NewGeneral(n, set.A)
 		if err != nil {
-			continue
+			return symRow{}
 		}
 		innerB, err := schedule.NewGeneral(n, set.B)
 		if err != nil {
-			continue
+			return symRow{}
 		}
 		wrapped := schedule.NewSymmetric(inner)
 		wrappedB := schedule.NewSymmetric(innerB)
 
 		symStats := simulator.SweepOffsets(wrapped, wrapped, simulator.ExhaustiveOffsets(200), 10)
 		innerStats := simulator.SweepOffsets(inner, innerB,
-			simulator.SampledOffsets(rng, inner.Period(), 10), inner.RendezvousBound(k)+1)
+			simulator.SampledOffsets(jrng, inner.Period(), 10), inner.RendezvousBound(k)+1)
 		wrapStats := simulator.SweepOffsets(wrapped, wrappedB,
-			simulator.SampledOffsets(rng, wrapped.Period(), 10), 12*inner.RendezvousBound(k)+24)
+			simulator.SampledOffsets(jrng, wrapped.Period(), 10), 12*inner.RendezvousBound(k)+24)
+		return symRow{ok: true, symMax: symStats.Max, innerMax: innerStats.Max, wrapMax: wrapStats.Max}
+	})
+	for i, n := range ns {
+		r := rows[i]
+		if !r.ok {
+			continue
+		}
 		blowup := "n/a"
-		if innerStats.Max > 0 {
-			blowup = fmt.Sprintf("%.1fx", float64(wrapStats.Max)/float64(innerStats.Max))
+		if r.innerMax > 0 {
+			blowup = fmt.Sprintf("%.1fx", float64(r.wrapMax)/float64(r.innerMax))
 		}
 		rep.Rows = append(rep.Rows, []string{
-			itoa(n), itoa(symStats.Max), itoa(innerStats.Max), itoa(wrapStats.Max), blowup,
+			itoa(n), itoa(r.symMax), itoa(r.innerMax), itoa(r.wrapMax), blowup,
 		})
 	}
 	rep.Notes = append(rep.Notes,

@@ -83,5 +83,25 @@ func (d *Dynamic) ChannelsAt(t int) []int {
 	return append([]int(nil), d.phases[d.phaseAt(t)].Channels...)
 }
 
+// AllChannels returns the union of every phase's channel set — the
+// complete set of channels this schedule may ever hop. Channels()
+// deliberately reports only the steady-state (final) phase, so
+// overlap tests that must be sound across the whole timeline (the
+// simulator's pair pruning) consult this instead.
+func (d *Dynamic) AllChannels() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, ph := range d.phases {
+		for _, c := range ph.Channels {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // NumPhases returns the number of phases.
 func (d *Dynamic) NumPhases() int { return len(d.phases) }

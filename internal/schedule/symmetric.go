@@ -54,6 +54,15 @@ func (s *Symmetric) Period() int { return SymmetricBlockLen * s.inner.Period() }
 // Channels implements Schedule.
 func (s *Symmetric) Channels() []int { return s.inner.Channels() }
 
+// AllChannels propagates the complete hop set of wrapped schedules
+// whose channel availability varies over time (see Dynamic).
+func (s *Symmetric) AllChannels() []int {
+	if v, ok := s.inner.(interface{ AllChannels() []int }); ok {
+		return v.AllChannels()
+	}
+	return s.inner.Channels()
+}
+
 // MinChannel returns c0 = min(S), the channel symmetric pairs meet on.
 func (s *Symmetric) MinChannel() int { return s.c0 }
 

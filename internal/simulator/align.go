@@ -22,3 +22,7 @@ type aligned struct {
 func (a aligned) Channel(t int) int { return a.inner.Channel(t + a.wake) }
 func (a aligned) Period() int       { return a.inner.Period() }
 func (a aligned) Channels() []int   { return a.inner.Channels() }
+
+// AllChannels propagates the complete hop set of wrapped schedules
+// whose channel availability varies over time (see schedule.Dynamic).
+func (a aligned) AllChannels() []int { return allChannels(a.inner) }

@@ -12,7 +12,10 @@ package simulator
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rendezvous/internal/schedule"
 )
@@ -67,7 +70,7 @@ func (r *Result) Meetings() []Meeting {
 func (r *Result) AllMet(agents []Agent) bool {
 	for i := range agents {
 		for j := i + 1; j < len(agents); j++ {
-			if !setsIntersect(agents[i].Sched.Channels(), agents[j].Sched.Channels()) {
+			if !setsIntersect(allChannels(agents[i].Sched), allChannels(agents[j].Sched)) {
 				continue
 			}
 			if _, ok := r.Meeting(agents[i].Name, agents[j].Name); !ok {
@@ -83,6 +86,17 @@ func pairKey(a, b string) [2]string {
 		a, b = b, a
 	}
 	return [2]string{a, b}
+}
+
+// allChannels returns every channel s may ever hop: schedules with
+// time-varying availability (schedule.Dynamic and wrappers over it)
+// expose AllChannels; for all other schedules Channels() is complete.
+// Overlap-based pruning must use this, never Channels() directly.
+func allChannels(s schedule.Schedule) []int {
+	if v, ok := s.(interface{ AllChannels() []int }); ok {
+		return v.AllChannels()
+	}
+	return s.Channels()
 }
 
 func setsIntersect(a, b []int) bool {
@@ -166,6 +180,78 @@ func (e *Engine) Run(horizon int) *Result {
 					}
 				}
 			}
+		}
+	}
+	return res
+}
+
+// RunParallel computes the same Result as Run by decomposing the joint
+// simulation into independent pairwise scans executed by a bounded
+// worker pool (workers ≤ 0 means GOMAXPROCS). The decomposition is
+// exact: every schedule is a pure function of its local slot, so the
+// first meeting of a pair does not depend on any third agent, and the
+// result is identical to Run at any worker count. Pairs whose complete
+// hop sets (allChannels — sound for phase-varying schedules too) are
+// disjoint can never meet and are skipped outright — on large fleets
+// that prunes the quadratic pair space before any slot is simulated.
+func (e *Engine) RunParallel(horizon, workers int) *Result {
+	type pairIdx struct{ i, j int }
+	var pairs []pairIdx
+	for i := range e.agents {
+		for j := i + 1; j < len(e.agents); j++ {
+			if setsIntersect(allChannels(e.agents[i].Sched), allChannels(e.agents[j].Sched)) {
+				pairs = append(pairs, pairIdx{i, j})
+			}
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	found := make([]*Meeting, len(pairs))
+	scan := func(p int) {
+		a, b := e.agents[pairs[p].i], e.agents[pairs[p].j]
+		start := a.Wake
+		if b.Wake > start {
+			start = b.Wake
+		}
+		for t := start; t < horizon; t++ {
+			ca := a.Sched.Channel(t - a.Wake)
+			if ca == b.Sched.Channel(t-b.Wake) {
+				key := pairKey(a.Name, b.Name)
+				found[p] = &Meeting{A: key[0], B: key[1], Slot: t, Channel: ca, TTR: t - start}
+				return
+			}
+		}
+	}
+	if workers <= 1 {
+		for p := range pairs {
+			scan(p)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					p := int(next.Add(1)) - 1
+					if p >= len(pairs) {
+						return
+					}
+					scan(p)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	res := &Result{Horizon: horizon, meetings: make(map[[2]string]Meeting, len(pairs))}
+	for _, m := range found {
+		if m != nil {
+			res.meetings[pairKey(m.A, m.B)] = *m
 		}
 	}
 	return res

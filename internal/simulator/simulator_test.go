@@ -1,6 +1,7 @@
 package simulator
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -281,4 +282,85 @@ func intersectionSize(a, b []int) int {
 		}
 	}
 	return count
+}
+
+// TestRunParallelMatchesRun: the pairwise decomposition must reproduce
+// the joint simulation exactly, at every worker count.
+func TestRunParallelMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var agents []Agent
+	for i := 0; i < 6; i++ {
+		w := RandomOverlappingPair(rng, 64, 3, 3)
+		s, err := schedule.NewAsync(64, w.A)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, Agent{Name: fmt.Sprintf("a%d", i), Sched: s, Wake: rng.Intn(300)})
+	}
+	// One agent disjoint from most others exercises the skip path.
+	eng, err := NewEngine(agents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 20_000
+	want := eng.Run(horizon)
+	for _, workers := range []int{0, 1, 2, 8} {
+		got := eng.RunParallel(horizon, workers)
+		if len(got.Meetings()) != len(want.Meetings()) {
+			t.Fatalf("workers=%d: %d meetings, want %d", workers, len(got.Meetings()), len(want.Meetings()))
+		}
+		for _, m := range want.Meetings() {
+			g, ok := got.Meeting(m.A, m.B)
+			if !ok || g != m {
+				t.Fatalf("workers=%d: meeting %v != %v (ok=%v)", workers, g, m, ok)
+			}
+		}
+	}
+}
+
+// TestRunParallelDynamicSchedules: the disjoint-pair prune must use the
+// complete hop set, not the steady-state Channels(). Two Dynamic agents
+// share channel 5 only in their first phase; their final-phase sets are
+// disjoint, so a Channels()-based prune would wrongly drop the pair.
+func TestRunParallelDynamicSchedules(t *testing.T) {
+	da, err := schedule.NewDynamic(8, []schedule.Phase{
+		{FromSlot: 0, Channels: []int{5}},
+		{FromSlot: 1000, Channels: []int{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := schedule.NewDynamic(8, []schedule.Phase{
+		{FromSlot: 0, Channels: []int{5}},
+		{FromSlot: 1000, Channels: []int{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine([]Agent{
+		{Name: "a", Sched: da},
+		{Name: "b", Sched: db},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 2000
+	want := eng.Run(horizon)
+	if len(want.Meetings()) != 1 {
+		t.Fatalf("joint engine should record the phase-0 meeting, got %d", len(want.Meetings()))
+	}
+	for _, workers := range []int{1, 4} {
+		got := eng.RunParallel(horizon, workers)
+		if len(got.Meetings()) != 1 {
+			t.Fatalf("workers=%d: pairwise engine pruned a pair that meets in an early phase (%d meetings)",
+				workers, len(got.Meetings()))
+		}
+		if got.Meetings()[0] != want.Meetings()[0] {
+			t.Fatalf("workers=%d: meeting mismatch: %+v vs %+v", workers, got.Meetings()[0], want.Meetings()[0])
+		}
+	}
+	// AllMet shares the prune helper and must consider the pair too.
+	if !want.AllMet(eng.agents) {
+		t.Error("AllMet should report the dynamic pair as met")
+	}
 }

@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rendezvous/internal/schedule"
+	"rendezvous/internal/simulator"
+)
+
+func TestMapOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		r := Runner{Workers: workers}
+		got := Map(r, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: index %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	if got := Map(Runner{Workers: 4}, 0, func(int) int { return 1 }); len(got) != 0 {
+		t.Fatalf("expected empty result, got %v", got)
+	}
+}
+
+// TestMapRNGWorkerIndependence is the engine's core invariant: the same
+// seed produces identical results at every worker count.
+func TestMapRNGWorkerIndependence(t *testing.T) {
+	run := func(workers int) []int {
+		r := Runner{Workers: workers, Seed: 42}
+		return MapRNG(r, 64, func(i int, rng *rand.Rand) int {
+			return rng.Intn(1 << 20)
+		})
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 8, 32} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverged from serial run", workers)
+		}
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 4; seed++ {
+		for job := 0; job < 256; job++ {
+			s := DeriveSeed(seed, job)
+			if seen[s] {
+				t.Fatalf("collision at seed=%d job=%d", seed, job)
+			}
+			seen[s] = true
+			if s2 := DeriveSeed(seed, job); s2 != s {
+				t.Fatalf("DeriveSeed not deterministic at seed=%d job=%d", seed, job)
+			}
+		}
+	}
+}
+
+// TestSweepOffsetsMatchesSerial checks the parallel offset sweep is
+// byte-identical to simulator.SweepOffsets on real schedules, including
+// the WorstOff tie-break.
+func TestSweepOffsetsMatchesSerial(t *testing.T) {
+	a, err := schedule.NewAsync(64, []int{3, 17, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := schedule.NewAsync(64, []int{17, 59})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := make([]int, 500)
+	rng := rand.New(rand.NewSource(7))
+	for i := range offsets {
+		offsets[i] = rng.Intn(a.Period())
+	}
+	want := simulator.SweepOffsets(a, b, offsets, 1<<16)
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := SweepOffsets(Runner{Workers: workers}, a, b, offsets, 1<<16)
+		if got != want {
+			t.Fatalf("workers=%d: %+v != serial %+v", workers, got, want)
+		}
+	}
+}
+
+// TestMergeTTRFailureChunks: a chunk with only failures must not steal
+// WorstOff from an earlier successful chunk.
+func TestMergeTTRFailureChunks(t *testing.T) {
+	success := simulator.TTRStats{Samples: 3, Failures: 0, Max: 9, Sum: 15, WorstOff: 2}
+	failures := simulator.TTRStats{Samples: 2, Failures: 2}
+	got := MergeTTR(success, failures)
+	if got.Max != 9 || got.WorstOff != 2 {
+		t.Fatalf("failure chunk overwrote max: %+v", got)
+	}
+	if got.Samples != 5 || got.Failures != 2 || got.Sum != 15 {
+		t.Fatalf("counts not accumulated: %+v", got)
+	}
+}

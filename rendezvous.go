@@ -79,7 +79,9 @@ type Meeting = simulator.Meeting
 // Result holds the outcome of a simulation run.
 type Result = simulator.Result
 
-// Engine is the slot-synchronous multi-agent simulator.
+// Engine is the slot-synchronous multi-agent simulator. Run performs
+// the serial joint simulation; RunParallel produces the identical
+// Result via an exact pairwise decomposition on a worker pool.
 type Engine = simulator.Engine
 
 // NewEngine validates agents (unique names, non-negative wakes) and
