@@ -29,9 +29,28 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 # One iteration per benchmark: proves every bench still runs without
-# paying full measurement cost. CI uses this.
+# paying full measurement cost. CI uses the JSON variant below.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Benchmark trajectory: run the full suite and record the results as
+# BENCH_<date>.json via cmd/benchjson (the raw output still streams to
+# the terminal). Override BENCHTIME to trade accuracy for time.
+BENCHTIME ?= 1s
+BENCH_JSON = BENCH_$(shell date +%F).json
+# Two steps (not a pipe) so a bench failure fails the target with its
+# diagnostics printed; on success benchjson echoes the raw output, so
+# the human-readable results still print either way.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... > bench.out \
+		|| { cat bench.out; rm -f bench.out; exit 1; }
+	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < bench.out
+	@rm -f bench.out
+
+# One-iteration trajectory point: the CI bench smoke step, which both
+# proves every bench runs and uploads the JSON as an artifact.
+bench-json-smoke:
+	$(MAKE) bench-json BENCHTIME=1x
+
 # The exact sequence CI runs; keep local and CI invocations identical.
-ci: fmt-check vet build build-examples race bench-smoke
+ci: fmt-check vet build build-examples race bench-json-smoke

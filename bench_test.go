@@ -187,6 +187,118 @@ func BenchmarkEngineRunParallelWorkers(b *testing.B) {
 	}
 }
 
+// --- block evaluation -------------------------------------------------
+
+// runBlockModes runs fn once per evaluation mode: the per-slot
+// reference path and the block/compiled fast path.
+func runBlockModes(b *testing.B, fn func(b *testing.B)) {
+	for _, mode := range []struct {
+		name  string
+		block bool
+	}{{"slots", false}, {"block", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			prev := simulator.SetBlockEval(mode.block)
+			defer simulator.SetBlockEval(prev)
+			b.ResetTimer()
+			fn(b)
+		})
+	}
+}
+
+// BenchmarkGeneralPairScan measures raw pairwise scan throughput on two
+// Theorem-3 schedules with DISJOINT channel sets, so every scan runs
+// the full horizon (1<<16 slots/op) instead of stopping at an early
+// rendezvous. This is the acceptance benchmark for the block layer:
+// block mode must be ≥ 2× the slots mode.
+func BenchmarkGeneralPairScan(b *testing.B) {
+	a, err := rendezvous.NewGeneral(1024, []int{3, 90, 512, 700})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := rendezvous.NewGeneral(1024, []int{91, 400, 999})
+	if err != nil {
+		b.Fatal(err)
+	}
+	runBlockModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := rendezvous.PairTTR(a, c, 0, 17, 1<<16); ok {
+				b.Fatal("disjoint sets rendezvoused")
+			}
+		}
+	})
+}
+
+// BenchmarkSymmetricPairScan is the same full-horizon scan through the
+// §3.2 wrapper stack (Symmetric over General), the flagship hot path.
+func BenchmarkSymmetricPairScan(b *testing.B) {
+	a, err := rendezvous.New(1024, []int{3, 90, 512, 700})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := rendezvous.New(1024, []int{91, 400, 999})
+	if err != nil {
+		b.Fatal(err)
+	}
+	runBlockModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := rendezvous.PairTTR(a, c, 0, 17, 1<<16); ok {
+				b.Fatal("disjoint sets rendezvoused")
+			}
+		}
+	})
+}
+
+// BenchmarkEngineRunModes measures the joint multi-agent engine with
+// and without block evaluation.
+func BenchmarkEngineRunModes(b *testing.B) {
+	const n = 256
+	rng := rand.New(rand.NewSource(2))
+	var agents []rendezvous.Agent
+	for i := 0; i < 8; i++ {
+		w := simulator.RandomOverlappingPair(rng, n, 4, 4)
+		s, err := rendezvous.New(n, w.A)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agents = append(agents, rendezvous.Agent{
+			Name: string(rune('a' + i)), Sched: s, Wake: rng.Intn(500),
+		})
+	}
+	eng, err := rendezvous.NewEngine(agents)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runBlockModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := eng.Run(50_000)
+			sink += len(res.Meetings())
+		}
+	})
+}
+
+// BenchmarkCompiledSweep measures an adversarial offset sweep: two
+// CRSEQ schedules with disjoint channel sets never meet, so every
+// offset exhausts the horizon and SweepOffsets's ski-rental kicks in,
+// compiling both schedules after the first few offsets and replaying
+// flat hop tables for the rest.
+func BenchmarkCompiledSweep(b *testing.B) {
+	a, err := rendezvous.NewCRSEQ(64, []int{3, 21, 40, 63})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := rendezvous.NewCRSEQ(64, []int{10, 33, 59})
+	if err != nil {
+		b.Fatal(err)
+	}
+	offsets := simulator.ExhaustiveOffsets(128)
+	runBlockModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := simulator.SweepOffsets(a, c, offsets, a.Period())
+			sink += st.Failures
+		}
+	})
+}
+
 // --- micro-benchmarks -------------------------------------------------
 
 func BenchmarkNewSchedule(b *testing.B) {

@@ -1,0 +1,165 @@
+// Command benchjson converts the text output of `go test -bench` into a
+// JSON benchmark-trajectory file, so per-PR performance is recorded as
+// a machine-readable artifact instead of scrolling away in a CI log.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_2026-07-28.json
+//
+// The input is echoed to stderr unchanged (the human still sees the
+// run); the parsed results land in -out (stdout when omitted). Lines
+// that are not benchmark results — pkg/goos/cpu headers, PASS/ok
+// trailers — set context or are ignored, so piping a whole `go test`
+// session through is safe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Pkg        string  `json:"pkg"`
+	Name       string  `json:"name"` // includes sub-benchmark path, excludes -procs suffix
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Remaining metric pairs ("B/op", "allocs/op", custom b.ReportMetric
+	// units) keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the trajectory point written to -out.
+type File struct {
+	Date       string      `json:"date"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, echo io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "", "output file (stdout when empty)")
+	date := fs.String("date", time.Now().Format("2006-01-02"), "date stamp recorded in the file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := parse(io.TeeReader(in, echo))
+	if err != nil {
+		return err
+	}
+	f.Date = *date
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(echo, "benchjson: wrote %d benchmarks to %s\n", len(f.Benchmarks), *out)
+	return nil
+}
+
+// parse consumes `go test -bench` output. Context lines (pkg:, goos:,
+// goarch:, cpu:) update the current state; Benchmark lines become
+// entries; everything else is skipped.
+func parse(r io.Reader) (*File, error) {
+	f := &File{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "goos: "):
+			f.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseResult(line)
+			if ok {
+				b.Pkg = pkg
+				f.Benchmarks = append(f.Benchmarks, b)
+			}
+		}
+	}
+	return f, sc.Err()
+}
+
+// parseResult parses one result line of the form
+//
+//	BenchmarkName/sub-8   123   456.7 ns/op   89 B/op   1 allocs/op
+//
+// reporting ok = false for lines that merely start with "Benchmark"
+// (e.g. a bare name printed with -v before the measurement).
+func parseResult(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name, procs := splitProcs(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters}
+	// The rest are value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	if b.NsPerOp == 0 && b.Metrics == nil {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// splitProcs splits the trailing -N GOMAXPROCS suffix off a benchmark
+// name (the suffix is only appended when GOMAXPROCS > 1).
+func splitProcs(s string) (string, int) {
+	i := strings.LastIndex(s, "-")
+	if i < 0 {
+		return s, 1
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil || n < 1 {
+		return s, 1
+	}
+	return s[:i], n
+}

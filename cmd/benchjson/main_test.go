@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: rendezvous
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGeneralPairScan/slots         	     541	   2207333 ns/op	       0 B/op	       0 allocs/op
+BenchmarkGeneralPairScan/block         	    2899	    408896 ns/op	    4096 B/op	       2 allocs/op
+BenchmarkChannelLookupOurs-8           	31210146	        38.52 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	rendezvous	10.376s
+pkg: rendezvous/internal/sweep
+BenchmarkMapScaling-8   	    1000	   1234 ns/op
+ok  	rendezvous/internal/sweep	1.2s
+`
+
+func TestParse(t *testing.T) {
+	f, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GoOS != "linux" || f.GoArch != "amd64" || !strings.Contains(f.CPU, "Xeon") {
+		t.Fatalf("bad context: %+v", f)
+	}
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(f.Benchmarks))
+	}
+	b := f.Benchmarks[1]
+	if b.Pkg != "rendezvous" || b.Name != "BenchmarkGeneralPairScan/block" {
+		t.Fatalf("bad benchmark identity: %+v", b)
+	}
+	if b.Iterations != 2899 || b.NsPerOp != 408896 {
+		t.Fatalf("bad measurements: %+v", b)
+	}
+	if b.Metrics["B/op"] != 4096 || b.Metrics["allocs/op"] != 2 {
+		t.Fatalf("bad metrics: %+v", b.Metrics)
+	}
+	c := f.Benchmarks[2]
+	if c.Procs != 8 || c.Name != "BenchmarkChannelLookupOurs" || c.NsPerOp != 38.52 {
+		t.Fatalf("bad procs split: %+v", c)
+	}
+	last := f.Benchmarks[3]
+	if last.Pkg != "rendezvous/internal/sweep" || last.Metrics != nil {
+		t.Fatalf("bad package tracking: %+v", last)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var echo strings.Builder
+	err := run([]string{"-out", out, "-date", "2026-07-28"}, strings.NewReader(sample), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"date": "2026-07-28"`, `"BenchmarkGeneralPairScan/slots"`, `"ns_per_op"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("output missing %q:\n%s", want, data)
+		}
+	}
+	// The raw bench output must be echoed so the human still sees it.
+	if !strings.Contains(echo.String(), "BenchmarkGeneralPairScan/slots") {
+		t.Fatalf("input not echoed: %q", echo.String())
+	}
+}

@@ -1,0 +1,47 @@
+package baselines_test
+
+import (
+	"testing"
+
+	"rendezvous/internal/baselines"
+	"rendezvous/internal/schedtest"
+	"rendezvous/internal/schedule"
+)
+
+// TestConformance runs the shared Schedule conformance suite against
+// every baseline scheme, at a prime-adjacent universe size to stress
+// the P > n remapping paths.
+func TestConformance(t *testing.T) {
+	const n = 13
+	set := []int{2, 5, 11}
+	cases := map[string]func(t *testing.T) (schedule.Schedule, error){
+		"CRSEQ": func(t *testing.T) (schedule.Schedule, error) {
+			return baselines.NewCRSEQ(n, set)
+		},
+		"CRSEQRandomized": func(t *testing.T) (schedule.Schedule, error) {
+			return baselines.NewCRSEQRandomized(n, set, 99)
+		},
+		"CRSEQSymmetric": func(t *testing.T) (schedule.Schedule, error) {
+			return baselines.NewCRSEQSymmetric(n, set)
+		},
+		"JumpStay": func(t *testing.T) (schedule.Schedule, error) {
+			return baselines.NewJumpStay(n, set)
+		},
+		"Random": func(t *testing.T) (schedule.Schedule, error) {
+			return baselines.NewRandom(n, set, 7, 997)
+		},
+		"Sweep": func(t *testing.T) (schedule.Schedule, error) {
+			return baselines.NewSweep(n, set)
+		},
+	}
+	for name, build := range cases {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			s, err := build(t)
+			if err != nil {
+				t.Fatal(err)
+			}
+			schedtest.Conform(t, s)
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package beacon_test
+
+import (
+	"testing"
+
+	"rendezvous/internal/beacon"
+	"rendezvous/internal/schedtest"
+	"rendezvous/internal/schedule"
+)
+
+// TestConformance runs the shared Schedule conformance suite against
+// both beacon protocols. The small configured Period makes the suite's
+// boundary probes cross the period wrap (where a seed window straddles
+// the cycle and falls back to warm-up).
+func TestConformance(t *testing.T) {
+	src := beacon.NewSource(42)
+	cfg := beacon.Config{Period: 1 << 11}
+	cases := map[string]func(t *testing.T) (schedule.Schedule, error){
+		"Fresh": func(t *testing.T) (schedule.Schedule, error) {
+			return beacon.NewFresh(64, []int{3, 17, 40}, src, cfg)
+		},
+		"FreshDefaultPeriod": func(t *testing.T) (schedule.Schedule, error) {
+			return beacon.NewFresh(64, []int{3, 17, 40}, src, beacon.Config{})
+		},
+		"Walk": func(t *testing.T) (schedule.Schedule, error) {
+			return beacon.NewWalk(64, []int{3, 17, 40}, src, cfg)
+		},
+		"WalkDefaultPeriod": func(t *testing.T) (schedule.Schedule, error) {
+			return beacon.NewWalk(64, []int{3, 17, 40}, src, beacon.Config{})
+		},
+	}
+	for name, build := range cases {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			s, err := build(t)
+			if err != nil {
+				t.Fatal(err)
+			}
+			schedtest.Conform(t, s)
+		})
+	}
+}

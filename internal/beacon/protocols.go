@@ -30,8 +30,13 @@ func NewFresh(n int, channels []int, src Source, cfg Config) (*Fresh, error) {
 // the paper's d·log n bit cost.
 func (fr *Fresh) Warmup() int { return fr.f.seedBits() }
 
+// freshSeedMix separates the per-epoch seed derivation shared by the
+// per-slot and block paths.
+const freshSeedMix = 0x632be59bd9b4e019
+
 // Channel implements schedule.Schedule.
 func (fr *Fresh) Channel(t int) int {
+	schedule.CheckSlot(t)
 	t %= fr.f.period
 	w := fr.f.seedBits()
 	if t < w {
@@ -40,8 +45,39 @@ func (fr *Fresh) Channel(t int) int {
 	epoch := t / w // epoch ≥ 1; bits of window epoch−1 are complete
 	seed := fr.f.src.window((epoch-1)*w, min(w, 64))
 	coeffs := make([]uint64, fr.f.degree)
-	fr.f.coeffs(seed^uint64(epoch)*0x632be59bd9b4e019, coeffs)
+	fr.f.coeffs(seed^uint64(epoch)*freshSeedMix, coeffs)
 	return fr.f.argmin(coeffs)
+}
+
+// ChannelBlock implements schedule.BlockEvaluator. The hopped channel
+// is constant within a seed window, so the block path draws one
+// permutation (and runs one argmin) per W-slot window instead of per
+// slot, reusing a single coefficient buffer.
+func (fr *Fresh) ChannelBlock(dst []int, start int) {
+	schedule.CheckSlot(start)
+	w := fr.f.seedBits()
+	coeffs := make([]uint64, fr.f.degree)
+	for filled := 0; filled < len(dst); {
+		t := (start + filled) % fr.f.period
+		var span, ch int
+		if t < w {
+			span = w - t
+			ch = fr.f.set[0]
+		} else {
+			epoch := t / w
+			span = (epoch+1)*w - t
+			seed := fr.f.src.window((epoch-1)*w, min(w, 64))
+			fr.f.coeffs(seed^uint64(epoch)*freshSeedMix, coeffs)
+			ch = fr.f.argmin(coeffs)
+		}
+		// A window straddling the period boundary wraps back to warm-up.
+		span = min(span, fr.f.period-t)
+		span = min(span, len(dst)-filled)
+		for x := 0; x < span; x++ {
+			dst[filled+x] = ch
+		}
+		filled += span
+	}
 }
 
 // Period implements schedule.Schedule.
@@ -102,6 +138,7 @@ func (wk *Walk) Warmup() int { return wk.f.seedBits() }
 
 // Channel implements schedule.Schedule.
 func (wk *Walk) Channel(t int) int {
+	schedule.CheckSlot(t)
 	t %= wk.f.period
 	w := wk.f.seedBits()
 	if t < w {
@@ -111,6 +148,33 @@ func (wk *Walk) Channel(t int) int {
 	coeffs := make([]uint64, wk.f.degree)
 	wk.f.coeffs(wk.states[step], coeffs)
 	return wk.f.argmin(coeffs)
+}
+
+// ChannelBlock implements schedule.BlockEvaluator: one permutation draw
+// per walk step (walkStepBits slots) with a reused coefficient buffer.
+func (wk *Walk) ChannelBlock(dst []int, start int) {
+	schedule.CheckSlot(start)
+	w := wk.f.seedBits()
+	coeffs := make([]uint64, wk.f.degree)
+	for filled := 0; filled < len(dst); {
+		t := (start + filled) % wk.f.period
+		var span, ch int
+		if t < w {
+			span = w - t
+			ch = wk.f.set[0]
+		} else {
+			step := (t - w) / walkStepBits
+			span = w + (step+1)*walkStepBits - t
+			wk.f.coeffs(wk.states[step], coeffs)
+			ch = wk.f.argmin(coeffs)
+		}
+		span = min(span, wk.f.period-t)
+		span = min(span, len(dst)-filled)
+		for x := 0; x < span; x++ {
+			dst[filled+x] = ch
+		}
+		filled += span
+	}
 }
 
 // Period implements schedule.Schedule.

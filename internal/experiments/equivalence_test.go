@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"rendezvous/internal/simulator"
+)
+
+// TestBlockEvalEquivalence is the end-to-end regression for the block
+// evaluation layer: every experiment driver must render a byte-identical
+// report whether the simulator consumes schedules in compiled blocks
+// (the default) or through the original per-slot paths. A failure means
+// some ChannelBlock or compiled table diverged from its Channel.
+//
+// The test toggles a process-wide switch, so it must not run in
+// parallel with other tests (the parallel determinism tests are held
+// until sequential tests finish, so ordering is safe).
+func TestBlockEvalEquivalence(t *testing.T) {
+	drivers := []struct {
+		name string
+		f    func(Config) *Report
+	}{
+		{"Table1Asymmetric", Table1Asymmetric},
+		{"Table1Symmetric", Table1Symmetric},
+		{"Theorem1", Theorem1},
+		{"Theorem3", Theorem3},
+		{"SymmetricWrapper", SymmetricWrapper},
+		{"LowerBoundRamsey", LowerBoundRamsey},
+		{"LowerBoundAsync", LowerBoundAsync},
+		{"OneRound", OneRound},
+		{"MultiAgent", MultiAgent},
+		{"Beacon", Beacon},
+	}
+	cfg := Config{Quick: true, Seed: 7, Workers: 4}
+	for _, d := range drivers {
+		t.Run(d.name, func(t *testing.T) {
+			prev := simulator.SetBlockEval(false)
+			perSlot := d.f(cfg).String()
+			simulator.SetBlockEval(true)
+			block := d.f(cfg).String()
+			simulator.SetBlockEval(prev)
+			if block != perSlot {
+				t.Errorf("block and per-slot reports diverged:\n--- per-slot ---\n%s\n--- block ---\n%s",
+					perSlot, block)
+			}
+		})
+	}
+}

@@ -1,0 +1,29 @@
+package pairsched_test
+
+import (
+	"testing"
+
+	"rendezvous/internal/pairsched"
+	"rendezvous/internal/schedtest"
+)
+
+// TestConformance runs the shared Schedule conformance suite against
+// the Theorem-1 pair schedules across universe sizes (distinct Ramsey
+// palettes and word lengths).
+func TestConformance(t *testing.T) {
+	for _, tc := range []struct {
+		n, a, b int
+	}{
+		{4, 2, 3},
+		{64, 1, 64},
+		{1 << 12, 90, 700},
+	} {
+		p, err := pairsched.New(tc.n, tc.a, tc.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(p.Word().String()[:min(8, p.Word().Len())], func(t *testing.T) {
+			schedtest.Conform(t, p)
+		})
+	}
+}

@@ -31,6 +31,15 @@ import (
 	"rendezvous/internal/ramsey"
 )
 
+// checkSlot mirrors schedule.CheckSlot (package schedule imports this
+// package, so the helper cannot be shared without a cycle): schedules
+// are defined on t ≥ 0 only and panic with the repository-wide message.
+func checkSlot(t int) {
+	if t < 0 {
+		panic(fmt.Sprintf("schedule: negative slot %d", t))
+	}
+}
+
 // ColorWidth returns the fixed number of bits used to encode a 2-Ramsey
 // color for universe size n.
 func ColorWidth(n int) int {
@@ -121,10 +130,29 @@ func New(n, a, b int) (*Pair, error) {
 
 // Channel returns the channel hopped at slot t ≥ 0.
 func (p *Pair) Channel(t int) int {
+	checkSlot(t)
 	if p.word.Bit(t%p.word.Len()) == 0 {
 		return p.lo
 	}
 	return p.hi
+}
+
+// ChannelBlock implements schedule.BlockEvaluator by streaming the
+// cyclic word.
+func (p *Pair) ChannelBlock(dst []int, start int) {
+	checkSlot(start)
+	l := p.word.Len()
+	within := start % l
+	for i := range dst {
+		if p.word.Bit(within) == 0 {
+			dst[i] = p.lo
+		} else {
+			dst[i] = p.hi
+		}
+		if within++; within == l {
+			within = 0
+		}
+	}
 }
 
 // Period returns the cyclic period of the schedule, |R| = O(log log n).

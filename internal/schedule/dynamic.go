@@ -65,13 +65,37 @@ func (d *Dynamic) phaseAt(t int) int {
 
 // Channel implements Schedule.
 func (d *Dynamic) Channel(t int) int {
+	CheckSlot(t)
 	i := d.phaseAt(t)
 	return d.scheds[i].Channel(t - d.phases[i].FromSlot)
+}
+
+// ChannelBlock implements BlockEvaluator: each phase's schedule fills
+// its own span of the block (on the phase-local clock), chunked at
+// phase boundaries.
+func (d *Dynamic) ChannelBlock(dst []int, start int) {
+	CheckSlot(start)
+	for filled := 0; filled < len(dst); {
+		t := start + filled
+		i := d.phaseAt(t)
+		n := len(dst) - filled
+		if i+1 < len(d.phases) {
+			n = min(n, d.phases[i+1].FromSlot-t)
+		}
+		FillBlock(d.scheds[i], dst[filled:filled+n], t-d.phases[i].FromSlot)
+		filled += n
+	}
 }
 
 // Period implements Schedule in the steady-state sense documented on
 // Dynamic.
 func (d *Dynamic) Period() int { return d.scheds[len(d.scheds)-1].Period() }
+
+// PeriodIsEventual implements EventualPeriod: with more than one phase
+// the transitional prefix does not repeat, so the advertised period is
+// only valid from the final phase onward and the schedule must not be
+// compiled into a one-period table.
+func (d *Dynamic) PeriodIsEventual() bool { return len(d.phases) > 1 }
 
 // Channels implements Schedule: the channel set of the final phase.
 func (d *Dynamic) Channels() []int {

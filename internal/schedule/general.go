@@ -73,9 +73,7 @@ func (g *General) Primes() (p, q int) { return g.p, g.q }
 
 // Channel implements Schedule.
 func (g *General) Channel(t int) int {
-	if t < 0 {
-		panic(fmt.Sprintf("schedule: negative slot %d", t))
-	}
+	CheckSlot(t)
 	epoch := t / g.EpochLen()
 	within := t % g.EpochLen() % g.wordLen
 	lo, hi := g.epochPair(epoch)
@@ -87,6 +85,41 @@ func (g *General) Channel(t int) int {
 		return lo
 	}
 	return hi
+}
+
+// ChannelBlock implements BlockEvaluator by emitting whole (doubled)
+// epochs at a time: the epoch pair and its Ramsey-word color are
+// resolved once per epoch instead of once per slot, and the word bits
+// are streamed across both word repetitions.
+func (g *General) ChannelBlock(dst []int, start int) {
+	CheckSlot(start)
+	el := g.EpochLen()
+	for filled := 0; filled < len(dst); {
+		t := start + filled
+		epoch := t / el
+		n := min((epoch+1)*el-t, len(dst)-filled)
+		seg := dst[filled : filled+n]
+		lo, hi := g.epochPair(epoch)
+		if lo == hi {
+			for i := range seg {
+				seg[i] = lo
+			}
+		} else {
+			word := g.words[ramsey.MustColor(lo, hi, g.n)]
+			within := t % el % g.wordLen
+			for i := range seg {
+				if word.Bit(within) == 0 {
+					seg[i] = lo
+				} else {
+					seg[i] = hi
+				}
+				if within++; within == g.wordLen {
+					within = 0
+				}
+			}
+		}
+		filled += n
+	}
 }
 
 // epochPair returns the (sorted) channel pair scheduled in the given

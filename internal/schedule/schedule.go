@@ -17,12 +17,22 @@ import (
 // Schedule is a deterministic channel-hopping schedule σ : N → S ⊆ [n].
 // Implementations must be pure: Channel(t) depends only on t (never on
 // call history), so schedules are safe for concurrent readers.
+//
+// Schedules are defined on t ≥ 0 only; every implementation in this
+// repository panics on a negative slot via CheckSlot. Implementations
+// may additionally provide the optional fast paths ChannelBlock
+// (BlockEvaluator) and AllChannels; callers reach them through
+// FillBlock and type assertions, never by extending this interface.
 type Schedule interface {
-	// Channel returns the 1-based channel hopped at slot t ≥ 0.
+	// Channel returns the 1-based channel hopped at slot t. It panics
+	// if t < 0 (see CheckSlot).
 	Channel(t int) int
 	// Period returns a positive p with Channel(t+p) = Channel(t) for all t.
 	Period() int
-	// Channels returns a copy of the channel set the schedule draws from.
+	// Channels returns a copy of the channel set the schedule draws
+	// from, sorted ascending without duplicates (the conformance suite
+	// in internal/schedtest enforces this; set comparisons throughout
+	// the repository rely on it).
 	Channels() []int
 }
 
@@ -36,7 +46,18 @@ type Constant struct {
 func NewConstant(ch int) Constant { return Constant{ch: ch} }
 
 // Channel implements Schedule.
-func (c Constant) Channel(int) int { return c.ch }
+func (c Constant) Channel(t int) int {
+	CheckSlot(t)
+	return c.ch
+}
+
+// ChannelBlock implements BlockEvaluator.
+func (c Constant) ChannelBlock(dst []int, start int) {
+	CheckSlot(start)
+	for i := range dst {
+		dst[i] = c.ch
+	}
+}
 
 // Period implements Schedule.
 func (c Constant) Period() int { return 1 }
@@ -62,7 +83,21 @@ func NewCyclic(seq []int) (*Cyclic, error) {
 }
 
 // Channel implements Schedule.
-func (c *Cyclic) Channel(t int) int { return c.seq[t%len(c.seq)] }
+func (c *Cyclic) Channel(t int) int {
+	CheckSlot(t)
+	return c.seq[t%len(c.seq)]
+}
+
+// ChannelBlock implements BlockEvaluator: a wrapped copy of the cycle.
+func (c *Cyclic) ChannelBlock(dst []int, start int) {
+	CheckSlot(start)
+	off := start % len(c.seq)
+	for len(dst) > 0 {
+		n := copy(dst, c.seq[off:])
+		dst = dst[n:]
+		off = 0
+	}
+}
 
 // Period implements Schedule.
 func (c *Cyclic) Period() int { return len(c.seq) }

@@ -42,10 +42,40 @@ func NewSymmetric(inner Schedule) *Symmetric {
 
 // Channel implements Schedule.
 func (s *Symmetric) Channel(t int) int {
+	CheckSlot(t)
 	if symmetricPattern[t%SymmetricBlockLen%6] == 0 {
 		return s.c0
 	}
 	return s.inner.Channel(t / SymmetricBlockLen)
+}
+
+// ChannelBlock implements BlockEvaluator: the inner schedule is
+// evaluated in blocks of its own (one inner slot per 12 outer slots)
+// and each inner channel is expanded through the §3.2 pattern, so the
+// wrapper adds no per-slot inner calls.
+func (s *Symmetric) ChannelBlock(dst []int, start int) {
+	CheckSlot(start)
+	var ibuf [32]int
+	for filled := 0; filled < len(dst); {
+		t := start + filled
+		innerStart := t / SymmetricBlockLen
+		innerEnd := (start + len(dst) - 1) / SymmetricBlockLen
+		m := min(innerEnd-innerStart+1, len(ibuf))
+		FillBlock(s.inner, ibuf[:m], innerStart)
+		// Expand the m inner slots we have; stop at dst's end.
+		for ; filled < len(dst); filled++ {
+			t = start + filled
+			in := t / SymmetricBlockLen
+			if in >= innerStart+m {
+				break
+			}
+			if symmetricPattern[t%SymmetricBlockLen%6] == 0 {
+				dst[filled] = s.c0
+			} else {
+				dst[filled] = ibuf[in-innerStart]
+			}
+		}
+	}
 }
 
 // Period implements Schedule.
@@ -56,12 +86,11 @@ func (s *Symmetric) Channels() []int { return s.inner.Channels() }
 
 // AllChannels propagates the complete hop set of wrapped schedules
 // whose channel availability varies over time (see Dynamic).
-func (s *Symmetric) AllChannels() []int {
-	if v, ok := s.inner.(interface{ AllChannels() []int }); ok {
-		return v.AllChannels()
-	}
-	return s.inner.Channels()
-}
+func (s *Symmetric) AllChannels() []int { return AllChannels(s.inner) }
+
+// PeriodIsEventual propagates the EventualPeriod marker of wrapped
+// schedules whose period is only eventually valid (see Dynamic).
+func (s *Symmetric) PeriodIsEventual() bool { return IsEventuallyPeriodic(s.inner) }
 
 // MinChannel returns c0 = min(S), the channel symmetric pairs meet on.
 func (s *Symmetric) MinChannel() int { return s.c0 }

@@ -19,10 +19,25 @@ type aligned struct {
 	wake  int
 }
 
-func (a aligned) Channel(t int) int { return a.inner.Channel(t + a.wake) }
-func (a aligned) Period() int       { return a.inner.Period() }
-func (a aligned) Channels() []int   { return a.inner.Channels() }
+func (a aligned) Channel(t int) int {
+	schedule.CheckSlot(t)
+	return a.inner.Channel(t + a.wake)
+}
+
+// ChannelBlock implements schedule.BlockEvaluator by shifting the block
+// start onto the global clock.
+func (a aligned) ChannelBlock(dst []int, start int) {
+	schedule.CheckSlot(start)
+	schedule.FillBlock(a.inner, dst, start+a.wake)
+}
+
+func (a aligned) Period() int     { return a.inner.Period() }
+func (a aligned) Channels() []int { return a.inner.Channels() }
 
 // AllChannels propagates the complete hop set of wrapped schedules
 // whose channel availability varies over time (see schedule.Dynamic).
-func (a aligned) AllChannels() []int { return allChannels(a.inner) }
+func (a aligned) AllChannels() []int { return schedule.AllChannels(a.inner) }
+
+// PeriodIsEventual propagates the schedule.EventualPeriod marker so an
+// aligned Dynamic is never compiled against its steady-state period.
+func (a aligned) PeriodIsEventual() bool { return schedule.IsEventuallyPeriodic(a.inner) }

@@ -1,0 +1,113 @@
+package simulator
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rendezvous/internal/baselines"
+	"rendezvous/internal/schedule"
+)
+
+// mixedSchedule builds one of the repository's schedule families from a
+// test RNG, so the equivalence tests cover native block evaluators,
+// compiled tables, and wrappers alike.
+func mixedSchedule(t *testing.T, rng *rand.Rand, n int, set []int) schedule.Schedule {
+	t.Helper()
+	var (
+		s   schedule.Schedule
+		err error
+	)
+	switch rng.Intn(5) {
+	case 0:
+		s, err = schedule.NewGeneral(n, set)
+	case 1:
+		s, err = schedule.NewAsync(n, set)
+	case 2:
+		s, err = baselines.NewCRSEQ(n, set)
+	case 3:
+		s, err = baselines.NewJumpStay(n, set)
+	default:
+		s, err = baselines.NewRandom(n, set, rng.Uint64(), 1<<14)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPairTTRBlockEquivalence sweeps randomized schedule pairs and wake
+// offsets and requires the block-evaluated PairTTR to agree exactly
+// with the per-slot reference scan.
+func TestPairTTRBlockEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 32
+	for trial := 0; trial < 40; trial++ {
+		w := RandomOverlappingPair(rng, n, 1+rng.Intn(4), 1+rng.Intn(4))
+		a := mixedSchedule(t, rng, n, w.A)
+		b := mixedSchedule(t, rng, n, w.B)
+		wakeA, wakeB := rng.Intn(1000), rng.Intn(1000)
+		horizon := 1 + rng.Intn(100_000)
+
+		prev := SetBlockEval(false)
+		wantTTR, wantOK := PairTTR(a, b, wakeA, wakeB, horizon)
+		SetBlockEval(true)
+		gotTTR, gotOK := PairTTR(a, b, wakeA, wakeB, horizon)
+		SetBlockEval(prev)
+
+		if gotTTR != wantTTR || gotOK != wantOK {
+			t.Fatalf("trial %d: block PairTTR = (%d,%v), per-slot = (%d,%v)",
+				trial, gotTTR, gotOK, wantTTR, wantOK)
+		}
+	}
+}
+
+// TestEngineBlockEquivalence requires Run and RunParallel (at several
+// worker counts) to produce identical meeting sets with block
+// evaluation on and off, over randomized multi-agent fleets.
+func TestEngineBlockEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n = 32
+	for trial := 0; trial < 10; trial++ {
+		agents := make([]Agent, 2+rng.Intn(5))
+		for i := range agents {
+			w := RandomOverlappingPair(rng, n, 1+rng.Intn(4), 1+rng.Intn(4))
+			agents[i] = Agent{
+				Name:  fmt.Sprintf("a%d", i),
+				Sched: mixedSchedule(t, rng, n, w.A),
+				Wake:  rng.Intn(500),
+			}
+		}
+		horizon := 1 + rng.Intn(60_000)
+		eng, err := NewEngine(agents)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		prev := SetBlockEval(false)
+		want := renderMeetings(eng.Run(horizon))
+		SetBlockEval(true)
+		results := map[string]*Result{
+			"Run":                  eng.Run(horizon),
+			"RunParallel(1)":       eng.RunParallel(horizon, 1),
+			"RunParallel(4)":       eng.RunParallel(horizon, 4),
+			"RunParallel(default)": eng.RunParallel(horizon, 0),
+		}
+		SetBlockEval(prev)
+
+		for name, res := range results {
+			if got := renderMeetings(res); got != want {
+				t.Fatalf("trial %d: %s diverged from per-slot Run:\nblock: %s\nslots: %s",
+					trial, name, got, want)
+			}
+		}
+	}
+}
+
+func renderMeetings(r *Result) string {
+	out := ""
+	for _, m := range r.Meetings() {
+		out += fmt.Sprintf("%s-%s@%d ch%d ttr%d; ", m.A, m.B, m.Slot, m.Channel, m.TTR)
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package simulator_test
+
+import (
+	"testing"
+
+	"rendezvous/internal/schedtest"
+	"rendezvous/internal/schedule"
+	"rendezvous/internal/simulator"
+)
+
+// TestAlignedConformance runs the shared Schedule conformance suite
+// against the AlignWake wrapper (the only schedule implementation this
+// package defines), over both a plain schedule and a multi-phase
+// Dynamic whose EventualPeriod marker must propagate.
+func TestAlignedConformance(t *testing.T) {
+	g, err := schedule.NewGeneral(32, []int{3, 17, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("AlignWake(General)", func(t *testing.T) {
+		schedtest.Conform(t, simulator.AlignWake(g, 17))
+	})
+	d, err := schedule.NewDynamic(32, []schedule.Phase{
+		{FromSlot: 0, Channels: []int{1, 9, 30}},
+		{FromSlot: 137, Channels: []int{9, 12}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("AlignWake(Dynamic)", func(t *testing.T) {
+		schedtest.Conform(t, simulator.AlignWake(d, 5))
+	})
+	aligned := simulator.AlignWake(d, 5)
+	if _, ok := schedule.Compile(aligned).(*schedule.Compiled); ok {
+		t.Fatalf("Compile materialized an aligned multi-phase Dynamic")
+	}
+}

@@ -8,6 +8,11 @@
 // paper's asynchronous model: a common slot clock but adversarial wake
 // offsets). Two agents rendezvous at the first global slot at which both
 // are awake and hop the same channel.
+//
+// All evaluators consume schedules in blocks (schedule.FillBlock /
+// schedule.Compile) rather than one interface call per slot; the
+// original per-slot paths are retained behind SetBlockEval as the
+// regression oracle and produce identical results.
 package simulator
 
 import (
@@ -19,6 +24,26 @@ import (
 
 	"rendezvous/internal/schedule"
 )
+
+// blockLen is the slot-count granularity of the block evaluators: long
+// enough to amortize epoch and permutation lookups, short enough that a
+// pair of buffers stays in L1 and early rendezvous does not overshoot
+// by much useless work.
+const blockLen = 256
+
+// blockEval selects the block-evaluation fast path (the default). The
+// per-slot paths remain as the reference implementation.
+var blockEval atomic.Bool
+
+func init() { blockEval.Store(true) }
+
+// SetBlockEval toggles between block evaluation and the per-slot
+// reference paths, returning the previous setting. It exists for
+// equivalence regression tests and debugging; production callers never
+// need it.
+func SetBlockEval(on bool) (previous bool) {
+	return blockEval.Swap(on)
+}
 
 // Agent is a named participant: a schedule plus a wake slot.
 type Agent struct {
@@ -68,9 +93,13 @@ func (r *Result) Meetings() []Meeting {
 // AllMet reports whether every pair of agents whose channel sets overlap
 // has met.
 func (r *Result) AllMet(agents []Agent) bool {
+	sets := make([][]int, len(agents))
+	for i := range agents {
+		sets[i] = allChannels(agents[i].Sched)
+	}
 	for i := range agents {
 		for j := i + 1; j < len(agents); j++ {
-			if !setsIntersect(allChannels(agents[i].Sched), allChannels(agents[j].Sched)) {
+			if !sortedIntersect(sets[i], sets[j]) {
 				continue
 			}
 			if _, ok := r.Meeting(agents[i].Name, agents[j].Name); !ok {
@@ -88,33 +117,41 @@ func pairKey(a, b string) [2]string {
 	return [2]string{a, b}
 }
 
-// allChannels returns every channel s may ever hop: schedules with
-// time-varying availability (schedule.Dynamic and wrappers over it)
-// expose AllChannels; for all other schedules Channels() is complete.
+// allChannels returns every channel s may ever hop, sorted ascending
+// (schedule.AllChannels — sound for phase-varying schedules, and
+// defensively re-sorted for contract-violating external schedules).
 // Overlap-based pruning must use this, never Channels() directly.
 func allChannels(s schedule.Schedule) []int {
-	if v, ok := s.(interface{ AllChannels() []int }); ok {
-		return v.AllChannels()
-	}
-	return s.Channels()
+	return schedule.AllChannels(s)
 }
 
-func setsIntersect(a, b []int) bool {
-	in := make(map[int]bool, len(a))
-	for _, x := range a {
-		in[x] = true
-	}
-	for _, y := range b {
-		if in[y] {
+// sortedIntersect reports whether two ascending-sorted channel sets
+// share an element (allChannels guarantees sortedness), so the O(N²)
+// pair pruning needs no per-pair map building.
+func sortedIntersect(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
 			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
 		}
 	}
 	return false
 }
 
-// Engine runs multi-agent simulations.
+// Engine runs multi-agent simulations. Run and RunParallel are safe to
+// call concurrently from multiple goroutines.
 type Engine struct {
 	agents []Agent
+	// compiled caches per-agent hop tables (schedule.Compile) built
+	// lazily once a run's horizon justifies the one-time unroll cost;
+	// mu guards it so concurrent runs stay safe.
+	mu       sync.Mutex
+	compiled []schedule.Schedule
 }
 
 // NewEngine validates the agents (unique non-empty names, non-negative
@@ -141,13 +178,90 @@ func NewEngine(agents []Agent) (*Engine, error) {
 	}
 	cp := make([]Agent, len(agents))
 	copy(cp, agents)
-	return &Engine{agents: cp}, nil
+	return &Engine{agents: cp, compiled: make([]schedule.Schedule, len(agents))}, nil
+}
+
+// schedFor returns the schedule evaluated for agent i over the given
+// horizon: the cached compiled table when one exists, a freshly
+// compiled one when the horizon spans at least two periods (so the
+// unroll pays for itself), and the agent's own schedule otherwise.
+// Compiled tables are verified equivalents, so results never depend on
+// which representation a run used. Called once per agent per run (never
+// in a hot loop), so the lock is uncontended noise.
+func (e *Engine) schedFor(i, horizon int) schedule.Schedule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c := e.compiled[i]; c != nil {
+		return c
+	}
+	s := e.agents[i].Sched
+	if p := s.Period(); horizon >= 2*p {
+		e.compiled[i] = schedule.Compile(s)
+		return e.compiled[i]
+	}
+	return s
 }
 
 // Run advances global slots 0 … horizon−1 and records the first meeting
 // of every agent pair that hops a common channel while awake.
 func (e *Engine) Run(horizon int) *Result {
 	res := &Result{Horizon: horizon, meetings: make(map[[2]string]Meeting)}
+	if blockEval.Load() {
+		e.runBlock(res, horizon)
+	} else {
+		e.runSlots(res, horizon)
+	}
+	return res
+}
+
+// runBlock is the joint simulation consuming per-agent channel blocks:
+// every agent's next blockLen slots are materialized in one FillBlock
+// call, then the occupancy scan reads plain buffers.
+func (e *Engine) runBlock(res *Result, horizon int) {
+	n := len(e.agents)
+	totalPairs := n * (n - 1) / 2
+	scheds := make([]schedule.Schedule, n)
+	for i := range e.agents {
+		scheds[i] = e.schedFor(i, horizon)
+	}
+	flat := make([]int, n*blockLen)
+	bufs := make([][]int, n)
+	for i := range bufs {
+		bufs[i] = flat[i*blockLen : (i+1)*blockLen]
+	}
+	occupants := make(map[int][]int) // channel -> agent indices, reused per slot
+	for base := 0; base < horizon; base += blockLen {
+		if len(res.meetings) == totalPairs {
+			return // every pair recorded; no later slot can change the result
+		}
+		m := min(blockLen, horizon-base)
+		for i, a := range e.agents {
+			if a.Wake >= base+m {
+				continue // asleep for the whole block
+			}
+			from := max(0, a.Wake-base)
+			schedule.FillBlock(scheds[i], bufs[i][from:m], base+from-a.Wake)
+		}
+		for off := 0; off < m; off++ {
+			t := base + off
+			for ch := range occupants {
+				delete(occupants, ch)
+			}
+			for i, a := range e.agents {
+				if t < a.Wake {
+					continue
+				}
+				ch := bufs[i][off]
+				occupants[ch] = append(occupants[ch], i)
+			}
+			e.recordMeetings(res, occupants, t)
+		}
+	}
+}
+
+// runSlots is the original per-slot joint simulation, kept as the
+// reference path (SetBlockEval(false)).
+func (e *Engine) runSlots(res *Result, horizon int) {
 	occupants := make(map[int][]int) // channel -> agent indices, reused per slot
 	for t := 0; t < horizon; t++ {
 		for ch := range occupants {
@@ -160,29 +274,34 @@ func (e *Engine) Run(horizon int) *Result {
 			ch := a.Sched.Channel(t - a.Wake)
 			occupants[ch] = append(occupants[ch], i)
 		}
-		for ch, idxs := range occupants {
-			if len(idxs) < 2 {
-				continue
-			}
-			for x := 0; x < len(idxs); x++ {
-				for y := x + 1; y < len(idxs); y++ {
-					ai, bj := e.agents[idxs[x]], e.agents[idxs[y]]
-					key := pairKey(ai.Name, bj.Name)
-					if _, done := res.meetings[key]; done {
-						continue
-					}
-					both := ai.Wake
-					if bj.Wake > both {
-						both = bj.Wake
-					}
-					res.meetings[key] = Meeting{
-						A: key[0], B: key[1], Slot: t, Channel: ch, TTR: t - both,
-					}
+		e.recordMeetings(res, occupants, t)
+	}
+}
+
+// recordMeetings registers the first meeting of every not-yet-met pair
+// sharing a channel at global slot t.
+func (e *Engine) recordMeetings(res *Result, occupants map[int][]int, t int) {
+	for ch, idxs := range occupants {
+		if len(idxs) < 2 {
+			continue
+		}
+		for x := 0; x < len(idxs); x++ {
+			for y := x + 1; y < len(idxs); y++ {
+				ai, bj := e.agents[idxs[x]], e.agents[idxs[y]]
+				key := pairKey(ai.Name, bj.Name)
+				if _, done := res.meetings[key]; done {
+					continue
+				}
+				both := ai.Wake
+				if bj.Wake > both {
+					both = bj.Wake
+				}
+				res.meetings[key] = Meeting{
+					A: key[0], B: key[1], Slot: t, Channel: ch, TTR: t - both,
 				}
 			}
 		}
 	}
-	return res
 }
 
 // RunParallel computes the same Result as Run by decomposing the joint
@@ -194,14 +313,29 @@ func (e *Engine) Run(horizon int) *Result {
 // hop sets (allChannels — sound for phase-varying schedules too) are
 // disjoint can never meet and are skipped outright — on large fleets
 // that prunes the quadratic pair space before any slot is simulated.
+// Each agent's hop set is computed once, so pruning costs O(N²·k)
+// comparisons rather than O(N²) map builds.
 func (e *Engine) RunParallel(horizon, workers int) *Result {
 	type pairIdx struct{ i, j int }
+	sets := make([][]int, len(e.agents))
+	for i := range e.agents {
+		sets[i] = allChannels(e.agents[i].Sched)
+	}
 	var pairs []pairIdx
 	for i := range e.agents {
 		for j := i + 1; j < len(e.agents); j++ {
-			if setsIntersect(allChannels(e.agents[i].Sched), allChannels(e.agents[j].Sched)) {
+			if sortedIntersect(sets[i], sets[j]) {
 				pairs = append(pairs, pairIdx{i, j})
 			}
+		}
+	}
+	useBlocks := blockEval.Load()
+	scheds := make([]schedule.Schedule, len(e.agents))
+	for i := range e.agents {
+		if useBlocks {
+			scheds[i] = e.schedFor(i, horizon)
+		} else {
+			scheds[i] = e.agents[i].Sched
 		}
 	}
 	if workers <= 0 {
@@ -211,11 +345,29 @@ func (e *Engine) RunParallel(horizon, workers int) *Result {
 		workers = len(pairs)
 	}
 	found := make([]*Meeting, len(pairs))
-	scan := func(p int) {
+	// scan locates pair p's first meeting; bufA/bufB are the worker's
+	// reusable block buffers.
+	scan := func(p int, bufA, bufB []int) {
 		a, b := e.agents[pairs[p].i], e.agents[pairs[p].j]
 		start := a.Wake
 		if b.Wake > start {
 			start = b.Wake
+		}
+		if useBlocks {
+			sa, sb := scheds[pairs[p].i], scheds[pairs[p].j]
+			for base := start; base < horizon; base += blockLen {
+				m := min(blockLen, horizon-base)
+				schedule.FillBlock(sa, bufA[:m], base-a.Wake)
+				schedule.FillBlock(sb, bufB[:m], base-b.Wake)
+				for x := 0; x < m; x++ {
+					if bufA[x] == bufB[x] {
+						key := pairKey(a.Name, b.Name)
+						found[p] = &Meeting{A: key[0], B: key[1], Slot: base + x, Channel: bufA[x], TTR: base + x - start}
+						return
+					}
+				}
+			}
+			return
 		}
 		for t := start; t < horizon; t++ {
 			ca := a.Sched.Channel(t - a.Wake)
@@ -227,8 +379,9 @@ func (e *Engine) RunParallel(horizon, workers int) *Result {
 		}
 	}
 	if workers <= 1 {
+		bufA, bufB := make([]int, blockLen), make([]int, blockLen)
 		for p := range pairs {
-			scan(p)
+			scan(p, bufA, bufB)
 		}
 	} else {
 		var next atomic.Int64
@@ -237,12 +390,13 @@ func (e *Engine) RunParallel(horizon, workers int) *Result {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				bufA, bufB := make([]int, blockLen), make([]int, blockLen)
 				for {
 					p := int(next.Add(1)) - 1
 					if p >= len(pairs) {
 						return
 					}
-					scan(p)
+					scan(p, bufA, bufB)
 				}
 			}()
 		}
@@ -262,6 +416,37 @@ func (e *Engine) RunParallel(horizon, workers int) *Result {
 // are awake. ok is false if they do not meet within horizon slots
 // (measured from the later wake).
 func PairTTR(a, b schedule.Schedule, wakeA, wakeB, horizon int) (ttr int, ok bool) {
+	if blockEval.Load() {
+		return pairTTRBlock(a, b, wakeA, wakeB, horizon)
+	}
+	return pairTTRSlots(a, b, wakeA, wakeB, horizon)
+}
+
+// pairTTRBlock is the block-evaluated scan: both schedules emit
+// blockLen-slot chunks into stack buffers and the comparison loop runs
+// over plain ints.
+func pairTTRBlock(a, b schedule.Schedule, wakeA, wakeB, horizon int) (ttr int, ok bool) {
+	start := wakeA
+	if wakeB > start {
+		start = wakeB
+	}
+	var bufA, bufB [blockLen]int
+	for s := 0; s < horizon; s += blockLen {
+		m := min(blockLen, horizon-s)
+		schedule.FillBlock(a, bufA[:m], start+s-wakeA)
+		schedule.FillBlock(b, bufB[:m], start+s-wakeB)
+		for x := 0; x < m; x++ {
+			if bufA[x] == bufB[x] {
+				return s + x, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// pairTTRSlots is the original per-slot scan, kept as the reference
+// path (SetBlockEval(false)).
+func pairTTRSlots(a, b schedule.Schedule, wakeA, wakeB, horizon int) (ttr int, ok bool) {
 	start := wakeA
 	if wakeB > start {
 		start = wakeB

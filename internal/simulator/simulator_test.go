@@ -218,7 +218,7 @@ func TestWorkloadGenerators(t *testing.T) {
 		if len(w.A) != ka || len(w.B) != kb {
 			t.Fatalf("sizes: %+v want ka=%d kb=%d", w, ka, kb)
 		}
-		if !setsIntersect(w.A, w.B) {
+		if !sortedIntersect(w.A, w.B) {
 			t.Fatalf("no overlap: %+v", w)
 		}
 		checkInRange(t, n, w.A)
@@ -237,7 +237,7 @@ func TestWorkloadGenerators(t *testing.T) {
 func TestAdversarialPairsValid(t *testing.T) {
 	for _, n := range []int{4, 8, 64, 1024} {
 		for _, w := range AdversarialPairs(n) {
-			if !setsIntersect(w.A, w.B) {
+			if !sortedIntersect(w.A, w.B) {
 				t.Fatalf("n=%d: adversarial pair does not overlap: %+v", n, w)
 			}
 			checkInRange(t, n, w.A)

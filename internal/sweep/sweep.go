@@ -110,6 +110,11 @@ const sweepChunk = 64
 // order. The result equals the serial sweep exactly, including the
 // WorstOff tie-break (the last offset attaining the maximum wins).
 func SweepOffsets(r Runner, a, b schedule.Schedule, offsets []int, horizon int) simulator.TTRStats {
+	// Each chunk runs simulator.SweepOffsets, whose adaptive (ski-
+	// rental) compilation decides per chunk whether unrolling the pair's
+	// hop tables pays off; a worker therefore never inherits another
+	// chunk's compile cost, and results stay byte-identical at any
+	// worker count because compiled tables are verified equivalents.
 	if len(offsets) <= sweepChunk || r.workerCount(len(offsets)) == 1 {
 		return simulator.SweepOffsets(a, b, offsets, horizon)
 	}

@@ -103,3 +103,23 @@ func PairTTR(a, b Schedule, wakeA, wakeB, horizon int) (ttr int, ok bool) {
 func AlignWake(inner Schedule, wake int) Schedule {
 	return simulator.AlignWake(inner, wake)
 }
+
+// Compile unrolls a schedule into a flat one-period hop table so that
+// repeated evaluation (offset sweeps, long simulations) costs an array
+// load per slot. The table is verified against a second period before
+// it is trusted; schedules whose period is too large to materialize, or
+// only eventually valid (NewDynamic with several phases), are returned
+// unchanged — compilation is always a transparent optimization, never a
+// semantic change. The simulator applies it automatically; call it
+// directly when driving schedules with your own evaluation loop.
+func Compile(s Schedule) Schedule {
+	return schedule.Compile(s)
+}
+
+// FillBlock fills dst[i] = s.Channel(start+i) for every i, using the
+// schedule's native block evaluator when it has one and per-slot calls
+// otherwise. Custom evaluation loops should prefer this over calling
+// Channel slot by slot.
+func FillBlock(s Schedule, dst []int, start int) {
+	schedule.FillBlock(s, dst, start)
+}
