@@ -414,3 +414,38 @@ func BenchmarkMultiAgentDiscovery(b *testing.B) {
 		sink += len(rep.Rows)
 	}
 }
+
+// BenchmarkNetworkScenarios regenerates the NETWORK report (CI scale):
+// fleets under churn + primary users across all four algorithms.
+func BenchmarkNetworkScenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Network(benchCfg)
+		sink += len(rep.Rows)
+	}
+}
+
+// BenchmarkScenarioFleet measures one churn + primary-user scenario run
+// through the public API at increasing fleet sizes — the network-scale
+// hot path (pair pruning, pairwise block scans, environment checks).
+func BenchmarkScenarioFleet(b *testing.B) {
+	for _, agents := range []int{64, 256} {
+		sc := rendezvous.Scenario{
+			N: 128, Agents: agents, K: 4, Seed: 1, Horizon: 1 << 14,
+			Churn: rendezvous.Churn{WakeSpread: 2000, LeaveFrac: 0.25, MinLife: 1 << 12, MaxLife: 1 << 14},
+			PU:    rendezvous.PrimaryUsers{Count: 8, Window: 1024, OnFrac: 0.5},
+		}
+		build, err := rendezvous.ScenarioBuilder("ours", sc.N, sc.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("agents=%d", agents), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, _, err := sc.Run(build, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += res.MetCount()
+			}
+		})
+	}
+}

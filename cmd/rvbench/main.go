@@ -8,7 +8,8 @@
 //	rvbench -quick       # CI-sized sweeps
 //	rvbench -parallel 4  # bound the sweep engine's worker pool
 //	rvbench -exp t1-asym # one experiment: t1-asym t1-sym figures thm1
-//	                     # thm3 sym beacon lb-ramsey lb-async oneround multi
+//	                     # thm3 sym beacon lb-ramsey lb-async oneround
+//	                     # multi network
 //
 // Experiments run on the internal/sweep engine: reports are
 // byte-identical for a fixed -seed at any -parallel value (0 means one
@@ -34,7 +35,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rvbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (all, t1-asym, t1-sym, figures, thm1, thm3, sym, beacon, lb-ramsey, lb-async, oneround, multi)")
+	exp := fs.String("exp", "all", "experiment id (all, t1-asym, t1-sym, figures, thm1, thm3, sym, beacon, lb-ramsey, lb-async, oneround, multi, network)")
 	quick := fs.Bool("quick", false, "shrink sweeps to CI size")
 	seed := fs.Int64("seed", 1, "workload seed")
 	parallel := fs.Int("parallel", 0, "sweep workers (0 = one per CPU); results are identical at any value")
@@ -54,6 +55,7 @@ func run(args []string, out io.Writer) error {
 		"lb-async":  experiments.LowerBoundAsync,
 		"oneround":  experiments.OneRound,
 		"multi":     experiments.MultiAgent,
+		"network":   experiments.Network,
 	}
 	if *exp == "all" {
 		for _, rep := range experiments.All(cfg) {

@@ -1,13 +1,20 @@
-// Command rvsim runs a multi-agent blind-rendezvous scenario and prints
-// every pairwise first meeting.
+// Command rvsim runs a multi-agent blind-rendezvous simulation and
+// prints every pairwise first meeting, or a fleet-scale scenario and
+// prints its discovery summary.
 //
-// Agents are specified as name=channels[@wake], e.g.:
+// Explicit agents are specified as name=channels[@wake], e.g.:
 //
 //	rvsim -n 64 -alg ours -horizon 200000 \
 //	      -agent base=10,20,30 -agent drone=20,40@25 -agent sensor=30,40@90
 //
+// Scenario mode generates the whole fleet and its environment dynamics
+// deterministically from -seed instead (see -h for presets):
+//
+//	rvsim -scenario churn-pu -agents 256 -n 128 -horizon 65536 -seed 3
+//
 // Algorithms: ours (default), general (no §3.2 wrapper), crseq,
-// crseq-rand, jumpstay, random, sweep, beacon-fresh, beacon-walk.
+// crseq-rand, jumpstay, random, sweep, beacon-fresh, beacon-walk
+// (scenario mode supports the first six).
 //
 // -parallel bounds the worker pool of the pairwise simulation engine
 // (0 = one per CPU, 1 = the serial joint engine); the reported meetings
@@ -78,20 +85,60 @@ func main() {
 	}
 }
 
+// scenarioPresets maps -scenario names onto their environment dynamics;
+// -agents, -churn and -pu refine them.
+var scenarioPresets = map[string]string{
+	"calm":     "static fleet, static spectrum",
+	"churn":    "staggered wakes, 25% of agents power off mid-run",
+	"pu":       "8 primary users each occupying a channel 50% of every 1024-slot window",
+	"churn-pu": "churn and primary users combined (the NETWORK experiment setting)",
+	"jammer":   "a wide-band jammer sweeping the universe, 64 slots per channel",
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rvsim", flag.ContinueOnError)
 	n := fs.Int("n", 64, "channel universe size")
 	alg := fs.String("alg", "ours", "schedule algorithm")
 	horizon := fs.Int("horizon", 1_000_000, "simulation slots")
-	seed := fs.Uint64("seed", 1, "seed for randomized algorithms / beacon")
+	seed := fs.Uint64("seed", 1, "seed for randomized algorithms / beacon / scenario")
 	parallel := fs.Int("parallel", 0, "pairwise engine workers (0 = one per CPU, 1 = serial joint engine)")
+	scenarioName := fs.String("scenario", "", "run a generated fleet scenario: calm, churn, pu, churn-pu, jammer")
+	fleetSize := fs.Int("agents", 64, "fleet size in scenario mode")
+	churn := fs.Float64("churn", -1, "scenario mode: override leave fraction, in [0,1]")
+	pu := fs.Int("pu", -1, "scenario mode: override primary-user count (≥ 0)")
 	var specs specList
 	fs.Var(&specs, "agent", "agent spec name=c1,c2[@wake] (repeatable)")
+	fs.Usage = func() {
+		o := fs.Output()
+		fmt.Fprintf(o, "usage: rvsim [flags]\n\n")
+		fmt.Fprintf(o, "explicit agents:\n")
+		fmt.Fprintf(o, "  rvsim -n 64 -agent base=10,20,30 -agent drone=20,40@25\n\n")
+		fmt.Fprintf(o, "generated fleet scenario (deterministic from -seed):\n")
+		fmt.Fprintf(o, "  rvsim -scenario churn-pu -agents 256 -n 128 -horizon 65536 -seed 3\n")
+		fmt.Fprintf(o, "  rvsim -scenario jammer -agents 64 -churn 0.5 -pu 4\n\npresets:\n")
+		for _, name := range []string{"calm", "churn", "pu", "churn-pu", "jammer"} {
+			fmt.Fprintf(o, "  %-9s %s\n", name, scenarioPresets[name])
+		}
+		fmt.Fprintf(o, "\nflags:\n")
+		fs.PrintDefaults()
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *scenarioName != "" {
+		if len(specs) > 0 {
+			return fmt.Errorf("-scenario generates its own fleet; drop the -agent flags")
+		}
+		return runScenario(out, *scenarioName, *alg, *n, *fleetSize, *horizon, *parallel, *seed, *churn, *pu)
+	}
+	if *churn >= 0 || *pu >= 0 || *fleetSize != 64 {
+		if len(specs) > 0 {
+			return fmt.Errorf("-agents/-churn/-pu require -scenario (explicit -agent fleets configure agents directly)")
+		}
+		return fmt.Errorf("-agents/-churn/-pu require -scenario")
+	}
 	if len(specs) < 2 {
-		return fmt.Errorf("need at least two -agent specs")
+		return fmt.Errorf("need at least two -agent specs (or -scenario; see -h)")
 	}
 
 	agents := make([]rendezvous.Agent, 0, len(specs))
@@ -133,6 +180,72 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%-23s never met (disjoint sets or horizon too small)\n", m)
 	}
 	fmt.Fprintf(out, "\n%d of %d pairs met\n", len(meetings), len(meetings)+len(missed))
+	return nil
+}
+
+// runScenario generates and runs a fleet scenario, printing its
+// discovery summary. Everything is derived from seed, so the same
+// command line reproduces the same report at any -parallel value.
+func runScenario(out io.Writer, preset, alg string, n, agents, horizon, parallel int, seed uint64, churn float64, pu int) error {
+	if _, ok := scenarioPresets[preset]; !ok {
+		return fmt.Errorf("unknown scenario %q (want calm, churn, pu, churn-pu, jammer)", preset)
+	}
+	if agents < 2 {
+		return fmt.Errorf("-agents %d: need at least 2", agents)
+	}
+	// -1 is the "no override" sentinel for both flags; anything else
+	// must be a real value.
+	if churn != -1 && (churn < 0 || churn > 1) {
+		return fmt.Errorf("-churn %v: leave fraction must be in [0,1]", churn)
+	}
+	if pu != -1 && pu < 0 {
+		return fmt.Errorf("-pu %d: primary-user count must be ≥ 0", pu)
+	}
+	sc := rendezvous.Scenario{
+		Name:    preset,
+		N:       n,
+		Agents:  agents,
+		K:       min(4, n),
+		Seed:    seed,
+		Horizon: horizon,
+	}
+	switch preset {
+	case "churn", "churn-pu":
+		sc.Churn = rendezvous.Churn{WakeSpread: 2000, LeaveFrac: 0.25, MinLife: max(1, horizon/4), MaxLife: horizon}
+	}
+	switch preset {
+	case "pu", "churn-pu":
+		sc.PU = rendezvous.PrimaryUsers{Count: 8, Window: 1024, OnFrac: 0.5}
+	}
+	if preset == "jammer" {
+		sc.Jammer = rendezvous.Jammer{Dwell: 64}
+	}
+	if churn >= 0 {
+		sc.Churn.LeaveFrac = churn
+		if sc.Churn.MinLife == 0 {
+			sc.Churn.MinLife, sc.Churn.MaxLife = max(1, horizon/4), horizon
+		}
+	}
+	if pu >= 0 {
+		sc.PU.Count = pu
+		if sc.PU.Window == 0 {
+			sc.PU.Window, sc.PU.OnFrac = 1024, 0.5
+		}
+	}
+	build, err := rendezvous.ScenarioBuilder(alg, n, seed)
+	if err != nil {
+		return err
+	}
+	res, fleet, err := sc.Run(build, parallel)
+	if err != nil {
+		return err
+	}
+	cov := rendezvous.Summarize(res, fleet, horizon)
+	fmt.Fprintf(out, "%s  algorithm=%s\n\n", sc, alg)
+	fmt.Fprintf(out, "eligible pairs    %d (channel sets overlap, lifetimes intersect)\n", cov.EligiblePairs)
+	fmt.Fprintf(out, "pairs met         %d (%.1f%%)\n", cov.MetPairs, 100*cov.MetFrac())
+	fmt.Fprintf(out, "mean TTR          %.0f slots\n", cov.MeanTTR)
+	fmt.Fprintf(out, "last first-meet   slot %d\n", cov.LastSlot)
 	return nil
 }
 

@@ -105,6 +105,66 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunScenarioMode(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-scenario", "churn-pu", "-agents", "24", "-n", "64", "-horizon", "16384", "-seed", "5",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"churn-pu", "eligible pairs", "pairs met", "mean TTR"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scenario output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunScenarioDeterministicAcrossParallel: the scenario summary is a
+// pure function of the seed, whatever -parallel says.
+func TestRunScenarioDeterministicAcrossParallel(t *testing.T) {
+	args := func(parallel string) []string {
+		return []string{
+			"-scenario", "churn", "-agents", "16", "-n", "32",
+			"-horizon", "8192", "-seed", "9", "-parallel", parallel,
+		}
+	}
+	var serial strings.Builder
+	if err := run(args("1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"0", "4"} {
+		var sb strings.Builder
+		if err := run(args(p), &sb); err != nil {
+			t.Fatalf("parallel=%s: %v", p, err)
+		}
+		if sb.String() != serial.String() {
+			t.Fatalf("parallel=%s scenario output diverged:\n%s\nvs\n%s", p, sb.String(), serial.String())
+		}
+	}
+}
+
+func TestRunScenarioErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := map[string][]string{
+		"unknown-preset":     {"-scenario", "bogus"},
+		"agents-too-small":   {"-scenario", "calm", "-agents", "1"},
+		"churn-out-of-range": {"-scenario", "churn", "-churn", "1.5"},
+		"churn-negative":     {"-scenario", "churn", "-churn", "-0.5"},
+		"pu-negative":        {"-scenario", "pu", "-pu", "-3"},
+		"pu-with-agents":     {"-pu", "3", "-agent", "a=1", "-agent", "b=1"},
+		"churn-no-scenario":  {"-churn", "0.5"},
+		"agent-and-scenario": {"-scenario", "calm", "-agent", "a=1,2"},
+		"scenario-bad-alg":   {"-scenario", "calm", "-alg", "beacon-fresh"},
+	}
+	for name, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
 // TestRunParallelFlagDeterministic: the pairwise engine must print the
 // same meetings as the serial joint engine at every -parallel value.
 func TestRunParallelFlagDeterministic(t *testing.T) {

@@ -21,6 +21,7 @@ func TestReportsDeterministicAcrossWorkers(t *testing.T) {
 		{"LowerBoundAsync", LowerBoundAsync},
 		{"OneRound", OneRound},
 		{"MultiAgent", MultiAgent},
+		{"Network", Network},
 		{"Beacon", Beacon},
 	}
 	for _, d := range drivers {

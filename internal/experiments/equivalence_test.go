@@ -29,6 +29,7 @@ func TestBlockEvalEquivalence(t *testing.T) {
 		{"LowerBoundAsync", LowerBoundAsync},
 		{"OneRound", OneRound},
 		{"MultiAgent", MultiAgent},
+		{"Network", Network},
 		{"Beacon", Beacon},
 	}
 	cfg := Config{Quick: true, Seed: 7, Workers: 4}

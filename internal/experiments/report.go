@@ -96,6 +96,7 @@ func All(cfg Config) []*Report {
 		LowerBoundAsync(cfg),
 		OneRound(cfg),
 		MultiAgent(cfg),
+		Network(cfg),
 	}
 }
 

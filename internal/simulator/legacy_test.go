@@ -1,0 +1,159 @@
+package simulator
+
+// The map-based joint engine this package shipped before the
+// integer-indexed core: string pair keys, map[int][]int occupancy
+// rebuilt every slot, no early exit beyond the all-pairs count. It is
+// retained test-side as (a) the equivalence oracle for the refactor and
+// (b) the baseline of the fleet-scaling benchmarks that pin the
+// speedup.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rendezvous/internal/schedule"
+)
+
+// legacyRun reproduces the original Engine.Run (block mode) over the
+// map-based representation.
+func legacyRun(agents []Agent, horizon int) map[[2]string]Meeting {
+	meetings := make(map[[2]string]Meeting)
+	n := len(agents)
+	totalPairs := n * (n - 1) / 2
+	scheds := make([]schedule.Schedule, n)
+	for i := range agents {
+		s := agents[i].Sched
+		if p := s.Period(); horizon >= 2*p {
+			s = schedule.Compile(s)
+		}
+		scheds[i] = s
+	}
+	flat := make([]int, n*blockLen)
+	bufs := make([][]int, n)
+	for i := range bufs {
+		bufs[i] = flat[i*blockLen : (i+1)*blockLen]
+	}
+	occupants := make(map[int][]int)
+	for base := 0; base < horizon; base += blockLen {
+		if len(meetings) == totalPairs {
+			return meetings
+		}
+		m := min(blockLen, horizon-base)
+		for i, a := range agents {
+			if a.Wake >= base+m {
+				continue
+			}
+			from := max(0, a.Wake-base)
+			schedule.FillBlock(scheds[i], bufs[i][from:m], base+from-a.Wake)
+		}
+		for off := 0; off < m; off++ {
+			t := base + off
+			for ch := range occupants {
+				delete(occupants, ch)
+			}
+			for i, a := range agents {
+				if t < a.Wake {
+					continue
+				}
+				occupants[bufs[i][off]] = append(occupants[bufs[i][off]], i)
+			}
+			for ch, idxs := range occupants {
+				if len(idxs) < 2 {
+					continue
+				}
+				for x := 0; x < len(idxs); x++ {
+					for y := x + 1; y < len(idxs); y++ {
+						ai, bj := agents[idxs[x]], agents[idxs[y]]
+						key := legacyPairKey(ai.Name, bj.Name)
+						if _, done := meetings[key]; done {
+							continue
+						}
+						both := max(ai.Wake, bj.Wake)
+						meetings[key] = Meeting{A: key[0], B: key[1], Slot: t, Channel: ch, TTR: t - both}
+					}
+				}
+			}
+		}
+	}
+	return meetings
+}
+
+func legacyPairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// benchFleet derives a deterministic fleet of the given size over the
+// MULTI population model (n=128, k=4, hub channel).
+func benchFleet(tb testing.TB, size int) []Agent {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(3))
+	const n = 128
+	agents := make([]Agent, size)
+	for i := range agents {
+		w := RandomOverlappingPair(rng, n, 4, 4)
+		s, err := schedule.NewAsync(n, w.A)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		agents[i] = Agent{Name: fmt.Sprintf("a%d", i), Sched: s, Wake: rng.Intn(2000)}
+	}
+	return agents
+}
+
+// TestIndexedEngineMatchesLegacyMap pins the refactor: the integer-
+// indexed core must reproduce the historical map-based engine meeting
+// for meeting.
+func TestIndexedEngineMatchesLegacyMap(t *testing.T) {
+	agents := benchFleet(t, 24)
+	const horizon = 30_000
+	want := legacyRun(agents, horizon)
+	eng, err := NewEngine(agents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eng.Run(horizon)
+	if got.MetCount() != len(want) {
+		t.Fatalf("indexed engine found %d meetings, legacy %d", got.MetCount(), len(want))
+	}
+	for key, m := range want {
+		g, ok := got.Meeting(key[0], key[1])
+		if !ok || g != m {
+			t.Fatalf("pair %v: indexed %+v (ok=%v), legacy %+v", key, g, ok, m)
+		}
+	}
+}
+
+// BenchmarkEngineCore compares the integer-indexed joint engine against
+// the historical map-based implementation on growing fleets. This is
+// the acceptance benchmark for the fleet-core refactor: indexed must
+// beat map from 64 agents up.
+func BenchmarkEngineCore(b *testing.B) {
+	for _, size := range []int{16, 64, 128} {
+		agents := benchFleet(b, size)
+		horizon := 20_000
+		b.Run(fmt.Sprintf("fleet=%d/indexed", size), func(b *testing.B) {
+			eng, err := NewEngine(agents)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := eng.Run(horizon)
+				if res.MetCount() == 0 {
+					b.Fatal("no meetings")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("fleet=%d/map", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if len(legacyRun(agents, horizon)) == 0 {
+					b.Fatal("no meetings")
+				}
+			}
+		})
+	}
+}

@@ -6,8 +6,18 @@
 // Time is a global slot counter t = 0, 1, 2, …. An agent with wake time
 // w executes slot s = t − w of its schedule at global slot t ≥ w (the
 // paper's asynchronous model: a common slot clock but adversarial wake
-// offsets). Two agents rendezvous at the first global slot at which both
-// are awake and hop the same channel.
+// offsets). An agent with a positive Leave slot powers off at that slot
+// and takes no further part (churn). Two agents rendezvous at the first
+// global slot at which both are active and hop the same channel — and,
+// when an Environment is supplied, the channel is available at that slot
+// (no primary user or jammer on it).
+//
+// Internally the engine is integer-indexed: agents are dense ids in
+// engine order, channel values are remapped to dense ids once at
+// construction, met pairs live in a triangular bitset, and per-slot
+// occupancy uses stamped flat slices — no map operations on any hot
+// path. Result retains its public string API through an id↔name table,
+// so callers are unaffected by the representation.
 //
 // All evaluators consume schedules in blocks (schedule.FillBlock /
 // schedule.Compile) rather than one interface call per slot; the
@@ -45,11 +55,39 @@ func SetBlockEval(on bool) (previous bool) {
 	return blockEval.Swap(on)
 }
 
-// Agent is a named participant: a schedule plus a wake slot.
+// Agent is a named participant: a schedule plus an activity window.
 type Agent struct {
 	Name  string
 	Sched schedule.Schedule
 	Wake  int
+	// Leave, when positive, is the global slot at which the agent powers
+	// off: it is active for slots Wake ≤ t < Leave (churn). Zero means
+	// the agent never leaves.
+	Leave int
+}
+
+// active reports whether the agent participates at global slot t.
+func (a Agent) active(t int) bool {
+	return t >= a.Wake && (a.Leave == 0 || t < a.Leave)
+}
+
+// end returns the exclusive last slot the agent can act in, clamped to
+// horizon.
+func (a Agent) end(horizon int) int {
+	if a.Leave > 0 && a.Leave < horizon {
+		return a.Leave
+	}
+	return horizon
+}
+
+// Environment models external spectrum dynamics — primary-user activity,
+// jammer sweeps, policy blackouts. Available reports whether channel ch
+// can carry a rendezvous at global slot t: two agents hopping ch at an
+// unavailable slot do not meet there. Implementations must be pure
+// functions of (ch, t) and safe for concurrent readers; the engine
+// consults them only at candidate meetings, never per slot.
+type Environment interface {
+	Available(ch, t int) bool
 }
 
 // Meeting records the first rendezvous between two agents.
@@ -60,23 +98,102 @@ type Meeting struct {
 	TTR     int // slots after both were awake: Slot − max(wake)
 }
 
-// Result holds the outcome of a simulation run.
+// Result holds the outcome of a simulation run. Meetings are stored in
+// flat triangular arrays indexed by dense agent-pair index; the public
+// accessors translate through the engine's id↔name table, so the string
+// API is unchanged from the original map-based representation.
 type Result struct {
-	Horizon  int
-	meetings map[[2]string]Meeting
+	Horizon int
+
+	names    []string       // agent id -> name, engine order
+	byName   map[string]int // name -> agent id
+	rowBase  []int          // triangular row offsets; pair (i<j) -> rowBase[i]+j-i-1
+	met      []uint64       // bitset over pair indices
+	metCount int
+	slot     []int // per pair index, valid where met
+	channel  []int
+	ttr      []int
+}
+
+// newResult allocates a result sized for the engine's fleet. names and
+// byName are shared with the engine (read-only).
+func newResult(horizon int, names []string, byName map[string]int, rowBase []int) *Result {
+	n := len(names)
+	pairs := n * (n - 1) / 2
+	return &Result{
+		Horizon: horizon,
+		names:   names,
+		byName:  byName,
+		rowBase: rowBase,
+		met:     make([]uint64, (pairs+63)/64),
+		slot:    make([]int, pairs),
+		channel: make([]int, pairs),
+		ttr:     make([]int, pairs),
+	}
+}
+
+// pairIdx maps agent ids i < j to the dense triangular pair index.
+func (r *Result) pairIdx(i, j int) int { return r.rowBase[i] + j - i - 1 }
+
+// isMet reports whether pair p has a recorded meeting.
+func (r *Result) isMet(p int) bool { return r.met[p>>6]&(1<<(p&63)) != 0 }
+
+// record stores the first meeting of agents i < j (dense ids) at global
+// slot t on channel ch; both is the later wake. Later calls for the same
+// pair are ignored, preserving first-meeting semantics.
+func (r *Result) record(i, j, t, ch, both int) {
+	p := r.pairIdx(i, j)
+	if r.isMet(p) {
+		return
+	}
+	r.met[p>>6] |= 1 << (p & 63)
+	r.metCount++
+	r.slot[p] = t
+	r.channel[p] = ch
+	r.ttr[p] = t - both
+}
+
+// meetingAt materializes the Meeting for pair (i<j), with A/B in name
+// order as the original map keys were.
+func (r *Result) meetingAt(i, j int) Meeting {
+	p := r.pairIdx(i, j)
+	a, b := r.names[i], r.names[j]
+	if a > b {
+		a, b = b, a
+	}
+	return Meeting{A: a, B: b, Slot: r.slot[p], Channel: r.channel[p], TTR: r.ttr[p]}
 }
 
 // Meeting returns the first meeting between the two named agents.
 func (r *Result) Meeting(a, b string) (Meeting, bool) {
-	m, ok := r.meetings[pairKey(a, b)]
-	return m, ok
+	i, okA := r.byName[a]
+	j, okB := r.byName[b]
+	if !okA || !okB || i == j {
+		return Meeting{}, false
+	}
+	if i > j {
+		i, j = j, i
+	}
+	if !r.isMet(r.pairIdx(i, j)) {
+		return Meeting{}, false
+	}
+	return r.meetingAt(i, j), true
 }
+
+// MetCount returns the number of recorded meetings without
+// materializing them.
+func (r *Result) MetCount() int { return r.metCount }
 
 // Meetings returns all recorded meetings sorted by slot.
 func (r *Result) Meetings() []Meeting {
-	out := make([]Meeting, 0, len(r.meetings))
-	for _, m := range r.meetings {
-		out = append(out, m)
+	out := make([]Meeting, 0, r.metCount)
+	n := len(r.names)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.isMet(r.pairIdx(i, j)) {
+				out = append(out, r.meetingAt(i, j))
+			}
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Slot != out[j].Slot {
@@ -90,8 +207,10 @@ func (r *Result) Meetings() []Meeting {
 	return out
 }
 
-// AllMet reports whether every pair of agents whose channel sets overlap
-// has met.
+// AllMet reports whether every eligible pair of agents has met: pairs
+// whose channel sets overlap and whose activity windows intersect
+// within the run's horizon (under churn, a pair where one agent leaves
+// before the other wakes can never meet and is not required).
 func (r *Result) AllMet(agents []Agent) bool {
 	sets := make([][]int, len(agents))
 	for i := range agents {
@@ -99,7 +218,7 @@ func (r *Result) AllMet(agents []Agent) bool {
 	}
 	for i := range agents {
 		for j := i + 1; j < len(agents); j++ {
-			if !sortedIntersect(sets[i], sets[j]) {
+			if !sortedIntersect(sets[i], sets[j]) || !Coexist(agents[i], agents[j], r.Horizon) {
 				continue
 			}
 			if _, ok := r.Meeting(agents[i].Name, agents[j].Name); !ok {
@@ -110,13 +229,6 @@ func (r *Result) AllMet(agents []Agent) bool {
 	return true
 }
 
-func pairKey(a, b string) [2]string {
-	if a > b {
-		a, b = b, a
-	}
-	return [2]string{a, b}
-}
-
 // allChannels returns every channel s may ever hop, sorted ascending
 // (schedule.AllChannels — sound for phase-varying schedules, and
 // defensively re-sorted for contract-violating external schedules).
@@ -124,6 +236,19 @@ func pairKey(a, b string) [2]string {
 func allChannels(s schedule.Schedule) []int {
 	return schedule.AllChannels(s)
 }
+
+// Coexist reports whether both agents are active at some common slot
+// below horizon — the activity-window half of pair eligibility, shared
+// by the engine's pruning, Result.AllMet, and scenario coverage so the
+// notion cannot drift between layers.
+func Coexist(a, b Agent, horizon int) bool {
+	return max(a.Wake, b.Wake) < min(a.end(horizon), b.end(horizon))
+}
+
+// SetsIntersect reports whether two ascending-sorted channel sets share
+// an element — the hop-set half of pair eligibility (schedule.AllChannels
+// guarantees the sortedness callers need).
+func SetsIntersect(a, b []int) bool { return sortedIntersect(a, b) }
 
 // sortedIntersect reports whether two ascending-sorted channel sets
 // share an element (allChannels guarantees sortedness), so the O(N²)
@@ -143,10 +268,71 @@ func sortedIntersect(a, b []int) bool {
 	return false
 }
 
+// directIndexLimit bounds the channel value up to which chanIndex uses a
+// flat value→id slice (4 MiB of int32 at the limit); larger universes
+// fall back to a map built once at engine construction.
+const directIndexLimit = 1 << 20
+
+// chanIndex maps raw channel values to dense ids 0 … count−1, built once
+// at engine construction from the union of every agent's complete hop
+// set. The hot loops then index flat occupancy slices of length count
+// instead of hashing channel values every slot.
+type chanIndex struct {
+	direct []int32       // value -> id+1; nil when values exceed directIndexLimit
+	table  map[int]int32 // fallback: value -> id+1
+	count  int
+}
+
+// newChanIndex builds the index over the sorted union of hop sets.
+func newChanIndex(union []int) chanIndex {
+	x := chanIndex{count: len(union)}
+	if len(union) == 0 {
+		return x
+	}
+	if maxCh := union[len(union)-1]; maxCh < directIndexLimit {
+		x.direct = make([]int32, maxCh+1)
+		for id, ch := range union {
+			x.direct[ch] = int32(id) + 1
+		}
+		return x
+	}
+	x.table = make(map[int]int32, len(union))
+	for id, ch := range union {
+		x.table[ch] = int32(id) + 1
+	}
+	return x
+}
+
+// id returns the dense id of ch. A schedule that hops a channel outside
+// its declared complete hop set violates the Schedule contract (the
+// conformance suite enforces it, and RunParallel's disjointness pruning
+// already relies on it); the engine fails loudly instead of silently
+// mis-recording such a meeting.
+func (x *chanIndex) id(ch int) int {
+	var v int32
+	if x.direct != nil {
+		if ch >= 0 && ch < len(x.direct) {
+			v = x.direct[ch]
+		}
+	} else {
+		v = x.table[ch]
+	}
+	if v == 0 {
+		panic(fmt.Sprintf("simulator: schedule hopped channel %d outside its declared hop set (AllChannels contract)", ch))
+	}
+	return int(v) - 1
+}
+
 // Engine runs multi-agent simulations. Run and RunParallel are safe to
 // call concurrently from multiple goroutines.
 type Engine struct {
-	agents []Agent
+	agents  []Agent
+	names   []string       // agent id -> name
+	byName  map[string]int // name -> agent id
+	rowBase []int          // triangular row offsets for pair indexing
+	hopSets [][]int        // per-agent complete hop set, sorted
+	chIdx   chanIndex
+
 	// compiled caches per-agent hop tables (schedule.Compile) built
 	// lazily once a run's horizon justifies the one-time unroll cost;
 	// mu guards it so concurrent runs stay safe.
@@ -155,30 +341,69 @@ type Engine struct {
 }
 
 // NewEngine validates the agents (unique non-empty names, non-negative
-// wake slots) and returns an engine.
+// wake slots, leave after wake) and returns an engine.
 func NewEngine(agents []Agent) (*Engine, error) {
 	if len(agents) < 2 {
 		return nil, fmt.Errorf("simulator: need at least 2 agents, got %d", len(agents))
 	}
-	seen := make(map[string]bool, len(agents))
-	for _, a := range agents {
+	n := len(agents)
+	byName := make(map[string]int, n)
+	names := make([]string, n)
+	for i, a := range agents {
 		if a.Name == "" {
 			return nil, fmt.Errorf("simulator: agent with empty name")
 		}
-		if seen[a.Name] {
+		if _, dup := byName[a.Name]; dup {
 			return nil, fmt.Errorf("simulator: duplicate agent name %q", a.Name)
 		}
-		seen[a.Name] = true
+		byName[a.Name] = i
+		names[i] = a.Name
 		if a.Wake < 0 {
 			return nil, fmt.Errorf("simulator: agent %q has negative wake %d", a.Name, a.Wake)
 		}
 		if a.Sched == nil {
 			return nil, fmt.Errorf("simulator: agent %q has nil schedule", a.Name)
 		}
+		if a.Leave != 0 && a.Leave <= a.Wake {
+			return nil, fmt.Errorf("simulator: agent %q leaves at %d, not after wake %d", a.Name, a.Leave, a.Wake)
+		}
 	}
-	cp := make([]Agent, len(agents))
+	cp := make([]Agent, n)
 	copy(cp, agents)
-	return &Engine{agents: cp, compiled: make([]schedule.Schedule, len(agents))}, nil
+	hopSets := make([][]int, n)
+	for i := range cp {
+		hopSets[i] = allChannels(cp[i].Sched)
+	}
+	union := unionSorted(hopSets)
+	rowBase := make([]int, n)
+	for i := 1; i < n; i++ {
+		rowBase[i] = rowBase[i-1] + n - i
+	}
+	return &Engine{
+		agents:   cp,
+		names:    names,
+		byName:   byName,
+		rowBase:  rowBase,
+		hopSets:  hopSets,
+		chIdx:    newChanIndex(union),
+		compiled: make([]schedule.Schedule, n),
+	}, nil
+}
+
+// unionSorted merges ascending-sorted sets into their sorted union.
+func unionSorted(sets [][]int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, s := range sets {
+		for _, c := range s {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // schedFor returns the schedule evaluated for agent i over the given
@@ -202,24 +427,89 @@ func (e *Engine) schedFor(i, horizon int) schedule.Schedule {
 	return s
 }
 
+// meetablePairs counts pairs that could ever meet within horizon: hop
+// sets overlap and activity windows intersect. Once that many pairs are
+// recorded no later slot can change the result, so the joint loops exit
+// early (under an Environment some meetable pairs may stay unmet, which
+// simply forfeits the early exit).
+func (e *Engine) meetablePairs(horizon int) int {
+	count := 0
+	for i := range e.agents {
+		for j := i + 1; j < len(e.agents); j++ {
+			if e.pairMeetable(i, j, horizon) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// pairMeetable reports whether agents i and j share a channel and are
+// both active at some slot below horizon.
+func (e *Engine) pairMeetable(i, j, horizon int) bool {
+	return Coexist(e.agents[i], e.agents[j], horizon) && sortedIntersect(e.hopSets[i], e.hopSets[j])
+}
+
 // Run advances global slots 0 … horizon−1 and records the first meeting
-// of every agent pair that hops a common channel while awake.
-func (e *Engine) Run(horizon int) *Result {
-	res := &Result{Horizon: horizon, meetings: make(map[[2]string]Meeting)}
+// of every agent pair that hops a common channel while active.
+func (e *Engine) Run(horizon int) *Result { return e.RunEnv(horizon, nil) }
+
+// RunEnv is Run under an optional Environment: a pair only meets at
+// slots where their common channel is available. A nil env means all
+// channels are always available (identical to Run).
+func (e *Engine) RunEnv(horizon int, env Environment) *Result {
+	res := newResult(horizon, e.names, e.byName, e.rowBase)
 	if blockEval.Load() {
-		e.runBlock(res, horizon)
+		e.runBlock(res, horizon, env)
 	} else {
-		e.runSlots(res, horizon)
+		e.runSlots(res, horizon, env)
 	}
 	return res
+}
+
+// occupancy is the per-slot channel→agents bookkeeping shared by the
+// joint loops: stamped flat slices over dense channel ids, reused across
+// slots with O(touched) reset instead of map churn.
+type occupancy struct {
+	stamp []int   // last slot key (t+1) the channel was touched
+	occ   [][]int // agents on the channel at the stamped slot
+}
+
+func newOccupancy(channels int) *occupancy {
+	return &occupancy{stamp: make([]int, channels), occ: make([][]int, channels)}
+}
+
+// add registers agent i on dense channel d at slot key tk (t+1) and
+// returns the agents already on d this slot (empty on first arrival).
+func (o *occupancy) add(d, tk, i int) []int {
+	if o.stamp[d] != tk {
+		o.stamp[d] = tk
+		o.occ[d] = o.occ[d][:0]
+	}
+	prev := o.occ[d]
+	o.occ[d] = append(prev, i)
+	return prev
+}
+
+// meet records agent i's meetings with every agent in prev on raw
+// channel ch at slot t, honoring the environment.
+func (e *Engine) meet(res *Result, env Environment, prev []int, i, ch, t int) {
+	if env != nil && !env.Available(ch, t) {
+		return
+	}
+	ai := &e.agents[i]
+	for _, o := range prev {
+		both := max(ai.Wake, e.agents[o].Wake)
+		res.record(o, i, t, ch, both)
+	}
 }
 
 // runBlock is the joint simulation consuming per-agent channel blocks:
 // every agent's next blockLen slots are materialized in one FillBlock
 // call, then the occupancy scan reads plain buffers.
-func (e *Engine) runBlock(res *Result, horizon int) {
+func (e *Engine) runBlock(res *Result, horizon int, env Environment) {
 	n := len(e.agents)
-	totalPairs := n * (n - 1) / 2
+	meetable := e.meetablePairs(horizon)
 	scheds := make([]schedule.Schedule, n)
 	for i := range e.agents {
 		scheds[i] = e.schedFor(i, horizon)
@@ -229,76 +519,59 @@ func (e *Engine) runBlock(res *Result, horizon int) {
 	for i := range bufs {
 		bufs[i] = flat[i*blockLen : (i+1)*blockLen]
 	}
-	occupants := make(map[int][]int) // channel -> agent indices, reused per slot
+	occ := newOccupancy(e.chIdx.count)
 	for base := 0; base < horizon; base += blockLen {
-		if len(res.meetings) == totalPairs {
-			return // every pair recorded; no later slot can change the result
+		if res.metCount == meetable {
+			return // every meetable pair recorded; later slots cannot change the result
 		}
 		m := min(blockLen, horizon-base)
 		for i, a := range e.agents {
-			if a.Wake >= base+m {
-				continue // asleep for the whole block
+			if a.Wake >= base+m || (a.Leave > 0 && a.Leave <= base) {
+				continue // outside its activity window for the whole block
 			}
 			from := max(0, a.Wake-base)
-			schedule.FillBlock(scheds[i], bufs[i][from:m], base+from-a.Wake)
+			to := m
+			if a.Leave > 0 && a.Leave < base+m {
+				to = a.Leave - base
+			}
+			schedule.FillBlock(scheds[i], bufs[i][from:to], base+from-a.Wake)
 		}
 		for off := 0; off < m; off++ {
 			t := base + off
-			for ch := range occupants {
-				delete(occupants, ch)
-			}
-			for i, a := range e.agents {
-				if t < a.Wake {
+			for i := range e.agents {
+				if !e.agents[i].active(t) {
 					continue
 				}
 				ch := bufs[i][off]
-				occupants[ch] = append(occupants[ch], i)
+				if prev := occ.add(e.chIdx.id(ch), t+1, i); len(prev) > 0 {
+					e.meet(res, env, prev, i, ch, t)
+				}
 			}
-			e.recordMeetings(res, occupants, t)
 		}
 	}
 }
 
 // runSlots is the original per-slot joint simulation, kept as the
-// reference path (SetBlockEval(false)).
-func (e *Engine) runSlots(res *Result, horizon int) {
-	occupants := make(map[int][]int) // channel -> agent indices, reused per slot
+// reference path (SetBlockEval(false)). It deliberately evaluates raw
+// Sched.Channel instead of going through schedFor's compiled tables:
+// the point of this path is to be the regression oracle for the block
+// and compile layers, so it must exercise each schedule's own
+// implementation, not the machinery under test.
+func (e *Engine) runSlots(res *Result, horizon int, env Environment) {
+	meetable := e.meetablePairs(horizon)
+	occ := newOccupancy(e.chIdx.count)
 	for t := 0; t < horizon; t++ {
-		for ch := range occupants {
-			delete(occupants, ch)
+		if res.metCount == meetable {
+			return // early exit mirrors runBlock: no later slot can matter
 		}
-		for i, a := range e.agents {
-			if t < a.Wake {
+		for i := range e.agents {
+			a := &e.agents[i]
+			if !a.active(t) {
 				continue
 			}
 			ch := a.Sched.Channel(t - a.Wake)
-			occupants[ch] = append(occupants[ch], i)
-		}
-		e.recordMeetings(res, occupants, t)
-	}
-}
-
-// recordMeetings registers the first meeting of every not-yet-met pair
-// sharing a channel at global slot t.
-func (e *Engine) recordMeetings(res *Result, occupants map[int][]int, t int) {
-	for ch, idxs := range occupants {
-		if len(idxs) < 2 {
-			continue
-		}
-		for x := 0; x < len(idxs); x++ {
-			for y := x + 1; y < len(idxs); y++ {
-				ai, bj := e.agents[idxs[x]], e.agents[idxs[y]]
-				key := pairKey(ai.Name, bj.Name)
-				if _, done := res.meetings[key]; done {
-					continue
-				}
-				both := ai.Wake
-				if bj.Wake > both {
-					both = bj.Wake
-				}
-				res.meetings[key] = Meeting{
-					A: key[0], B: key[1], Slot: t, Channel: ch, TTR: t - both,
-				}
+			if prev := occ.add(e.chIdx.id(ch), t+1, i); len(prev) > 0 {
+				e.meet(res, env, prev, i, ch, t)
 			}
 		}
 	}
@@ -307,24 +580,26 @@ func (e *Engine) recordMeetings(res *Result, occupants map[int][]int, t int) {
 // RunParallel computes the same Result as Run by decomposing the joint
 // simulation into independent pairwise scans executed by a bounded
 // worker pool (workers ≤ 0 means GOMAXPROCS). The decomposition is
-// exact: every schedule is a pure function of its local slot, so the
-// first meeting of a pair does not depend on any third agent, and the
-// result is identical to Run at any worker count. Pairs whose complete
-// hop sets (allChannels — sound for phase-varying schedules too) are
-// disjoint can never meet and are skipped outright — on large fleets
-// that prunes the quadratic pair space before any slot is simulated.
-// Each agent's hop set is computed once, so pruning costs O(N²·k)
-// comparisons rather than O(N²) map builds.
+// exact: every schedule is a pure function of its local slot and the
+// Environment a pure function of (channel, slot), so the first meeting
+// of a pair does not depend on any third agent, and the result is
+// identical to Run at any worker count. Pairs whose complete hop sets
+// (allChannels — sound for phase-varying schedules too) are disjoint, or
+// whose activity windows never intersect, can never meet and are skipped
+// outright — on large fleets that prunes the quadratic pair space before
+// any slot is simulated.
 func (e *Engine) RunParallel(horizon, workers int) *Result {
+	return e.RunParallelEnv(horizon, workers, nil)
+}
+
+// RunParallelEnv is RunParallel under an optional Environment; see
+// RunEnv for the availability semantics.
+func (e *Engine) RunParallelEnv(horizon, workers int, env Environment) *Result {
 	type pairIdx struct{ i, j int }
-	sets := make([][]int, len(e.agents))
-	for i := range e.agents {
-		sets[i] = allChannels(e.agents[i].Sched)
-	}
 	var pairs []pairIdx
 	for i := range e.agents {
 		for j := i + 1; j < len(e.agents); j++ {
-			if sortedIntersect(sets[i], sets[j]) {
+			if e.pairMeetable(i, j, horizon) {
 				pairs = append(pairs, pairIdx{i, j})
 			}
 		}
@@ -344,36 +619,39 @@ func (e *Engine) RunParallel(horizon, workers int) *Result {
 	if workers > len(pairs) {
 		workers = len(pairs)
 	}
-	found := make([]*Meeting, len(pairs))
+	// found[p] is pair p's first meeting: slot, channel, and whether one
+	// occurred. Workers write disjoint elements, so no locking is needed;
+	// the serial fill below folds them into the triangular Result.
+	type hit struct {
+		slot, ch int
+		ok       bool
+	}
+	found := make([]hit, len(pairs))
 	// scan locates pair p's first meeting; bufA/bufB are the worker's
 	// reusable block buffers.
 	scan := func(p int, bufA, bufB []int) {
 		a, b := e.agents[pairs[p].i], e.agents[pairs[p].j]
-		start := a.Wake
-		if b.Wake > start {
-			start = b.Wake
-		}
+		start := max(a.Wake, b.Wake)
+		end := min(a.end(horizon), b.end(horizon))
 		if useBlocks {
 			sa, sb := scheds[pairs[p].i], scheds[pairs[p].j]
-			for base := start; base < horizon; base += blockLen {
-				m := min(blockLen, horizon-base)
+			for base := start; base < end; base += blockLen {
+				m := min(blockLen, end-base)
 				schedule.FillBlock(sa, bufA[:m], base-a.Wake)
 				schedule.FillBlock(sb, bufB[:m], base-b.Wake)
 				for x := 0; x < m; x++ {
-					if bufA[x] == bufB[x] {
-						key := pairKey(a.Name, b.Name)
-						found[p] = &Meeting{A: key[0], B: key[1], Slot: base + x, Channel: bufA[x], TTR: base + x - start}
+					if bufA[x] == bufB[x] && (env == nil || env.Available(bufA[x], base+x)) {
+						found[p] = hit{slot: base + x, ch: bufA[x], ok: true}
 						return
 					}
 				}
 			}
 			return
 		}
-		for t := start; t < horizon; t++ {
+		for t := start; t < end; t++ {
 			ca := a.Sched.Channel(t - a.Wake)
-			if ca == b.Sched.Channel(t-b.Wake) {
-				key := pairKey(a.Name, b.Name)
-				found[p] = &Meeting{A: key[0], B: key[1], Slot: t, Channel: ca, TTR: t - start}
+			if ca == b.Sched.Channel(t-b.Wake) && (env == nil || env.Available(ca, t)) {
+				found[p] = hit{slot: t, ch: ca, ok: true}
 				return
 			}
 		}
@@ -402,10 +680,11 @@ func (e *Engine) RunParallel(horizon, workers int) *Result {
 		}
 		wg.Wait()
 	}
-	res := &Result{Horizon: horizon, meetings: make(map[[2]string]Meeting, len(pairs))}
-	for _, m := range found {
-		if m != nil {
-			res.meetings[pairKey(m.A, m.B)] = *m
+	res := newResult(horizon, e.names, e.byName, e.rowBase)
+	for p, h := range found {
+		if h.ok {
+			i, j := pairs[p].i, pairs[p].j
+			res.record(i, j, h.slot, h.ch, max(e.agents[i].Wake, e.agents[j].Wake))
 		}
 	}
 	return res

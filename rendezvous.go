@@ -22,6 +22,7 @@
 package rendezvous
 
 import (
+	"rendezvous/internal/scenario"
 	"rendezvous/internal/schedule"
 	"rendezvous/internal/simulator"
 )
@@ -69,7 +70,8 @@ func NewDynamic(n int, phases []Phase) (Schedule, error) {
 }
 
 // Agent is a simulation participant: a named schedule plus the global
-// slot at which it wakes up.
+// slot at which it wakes up and, optionally, a positive Leave slot at
+// which it powers off (churn).
 type Agent = simulator.Agent
 
 // Meeting records the first rendezvous between two agents in a
@@ -81,8 +83,55 @@ type Result = simulator.Result
 
 // Engine is the slot-synchronous multi-agent simulator. Run performs
 // the serial joint simulation; RunParallel produces the identical
-// Result via an exact pairwise decomposition on a worker pool.
+// Result via an exact pairwise decomposition on a worker pool. RunEnv
+// and RunParallelEnv are the same runs under an Environment.
 type Engine = simulator.Engine
+
+// Environment models external spectrum dynamics (primary users, jammer
+// sweeps): a rendezvous only counts at slots where the common channel
+// is available. Implementations must be pure functions of (channel,
+// slot) — that purity is what keeps Run and RunParallel identical.
+type Environment = simulator.Environment
+
+// Scenario describes a network-scale workload: a fleet whose channel
+// sets, wake offsets and churn are derived deterministically from a
+// seed, plus environment dynamics (primary users, jammer). Build
+// derives the fleet, Run executes it; the same Scenario value always
+// yields the same Result at any worker count.
+type Scenario = scenario.Scenario
+
+// Churn configures fleet dynamics for a Scenario: staggered joins and
+// mid-run leaves.
+type Churn = scenario.Churn
+
+// PrimaryUsers configures deterministic incumbent on/off activity for a
+// Scenario.
+type PrimaryUsers = scenario.PrimaryUsers
+
+// Jammer configures a sweeping jammer for a Scenario: whole-universe
+// sweeps, or barrage jamming of a fixed channel list.
+type Jammer = scenario.Jammer
+
+// Coverage summarizes fleet discovery after a scenario run: eligible
+// pairs, met pairs, and the TTR profile.
+type Coverage = scenario.Coverage
+
+// ScheduleBuilder constructs the schedule for one agent of a scenario
+// fleet from its channel set; the agent index seeds randomized
+// algorithms.
+type ScheduleBuilder = scenario.Builder
+
+// ScenarioBuilder returns the ScheduleBuilder for a named algorithm
+// (ours, general, crseq, crseq-rand, jumpstay, random) over universe
+// [1, n].
+func ScenarioBuilder(alg string, n int, seed uint64) (ScheduleBuilder, error) {
+	return scenario.BuilderFor(alg, n, seed)
+}
+
+// Summarize computes discovery Coverage for a finished scenario run.
+func Summarize(res *Result, agents []Agent, horizon int) Coverage {
+	return scenario.Summarize(res, agents, horizon)
+}
 
 // NewEngine validates agents (unique names, non-negative wakes) and
 // returns a simulation engine.

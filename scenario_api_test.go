@@ -1,0 +1,89 @@
+package rendezvous_test
+
+import (
+	"testing"
+
+	"rendezvous"
+)
+
+// TestScenarioAPI drives the public scenario surface end to end: a
+// churn + primary-user + jammer fleet built and run purely from a seed,
+// with identical results at different worker counts.
+func TestScenarioAPI(t *testing.T) {
+	sc := rendezvous.Scenario{
+		Name:    "api-smoke",
+		N:       64,
+		Agents:  10,
+		K:       3,
+		Seed:    11,
+		Horizon: 1 << 13,
+		Churn:   rendezvous.Churn{WakeSpread: 400, LeaveFrac: 0.2, MinLife: 2000, MaxLife: 6000},
+		PU:      rendezvous.PrimaryUsers{Count: 4, Window: 512, OnFrac: 0.5},
+		Jammer:  rendezvous.Jammer{Dwell: 128},
+	}
+	build, err := rendezvous.ScenarioBuilder("ours", sc.N, sc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, agents, err := sc.Run(build, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res8, _, err := sc.Run(build, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m8 := res1.Meetings(), res8.Meetings()
+	if len(m1) != len(m8) {
+		t.Fatalf("worker counts disagree: %d vs %d meetings", len(m1), len(m8))
+	}
+	for i := range m1 {
+		if m1[i] != m8[i] {
+			t.Fatalf("meeting %d differs across worker counts: %+v vs %+v", i, m1[i], m8[i])
+		}
+	}
+	cov := rendezvous.Summarize(res1, agents, sc.Horizon)
+	if cov.Agents != sc.Agents || cov.MetPairs > cov.EligiblePairs {
+		t.Fatalf("implausible coverage: %+v", cov)
+	}
+
+	// Validation surfaces through the public API too.
+	badSc := sc
+	badSc.K = 0
+	if _, _, err := badSc.Run(build, 1); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+	if _, err := rendezvous.ScenarioBuilder("nope", 16, 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestEngineEnvAPI exercises Environment and Agent.Leave through the
+// public Engine aliases.
+func TestEngineEnvAPI(t *testing.T) {
+	a, err := rendezvous.New(16, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rendezvous.New(16, []int{5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := rendezvous.NewEngine([]rendezvous.Agent{
+		{Name: "x", Sched: a, Wake: 0, Leave: 5000},
+		{Name: "y", Sched: b, Wake: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.RunEnv(5000, blockNothing{})
+	want := eng.Run(5000)
+	if res.MetCount() != want.MetCount() {
+		t.Fatalf("pass-through environment changed the result: %d vs %d", res.MetCount(), want.MetCount())
+	}
+}
+
+// blockNothing is the trivial all-available Environment.
+type blockNothing struct{}
+
+func (blockNothing) Available(ch, t int) bool { return true }
