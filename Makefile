@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: build build-examples fmt-check vet test race bench bench-smoke ci
+.PHONY: build build-examples fmt-check vet test race bench bench-smoke ci \
+	fuzz-smoke cover golden
 
 build:
 	$(GO) build ./...
@@ -52,5 +53,34 @@ bench-json:
 bench-json-smoke:
 	$(MAKE) bench-json BENCHTIME=1x
 
+# Time-boxed coverage-guided fuzzing over the property oracles
+# (internal/proptest): each target gets FUZZTIME of mutation on top of
+# its committed seed corpus. Crashers land in
+# internal/proptest/testdata/fuzz/ (CI uploads them as artifacts).
+FUZZTIME ?= 10s
+FUZZ_TARGETS = FuzzCompile FuzzBlockEquivalence FuzzEngineVsLegacy FuzzScenarioEnv
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzzing $$t for $(FUZZTIME)"; \
+		$(GO) test ./internal/proptest -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+# Coverage with a floor on internal/... — the packages carrying the
+# correctness arguments. The floor trails the current level (91%+) far
+# enough to absorb noise but catches a PR that lands logic untested.
+COVER_FLOOR ?= 85
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "internal coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f + 0) }' \
+		|| { echo "coverage below floor"; exit 1; }
+
+# Regenerate the golden-report corpus (internal/experiments and
+# cmd/rvsim testdata/golden) after an intentional output change; review
+# the diff like any other code change.
+golden:
+	$(GO) test -run 'TestGolden' ./internal/experiments ./cmd/rvsim -update -count=1
+
 # The exact sequence CI runs; keep local and CI invocations identical.
-ci: fmt-check vet build build-examples race bench-json-smoke
+ci: fmt-check vet build build-examples race cover bench-json-smoke

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -71,5 +72,82 @@ func TestRunWritesFile(t *testing.T) {
 	// The raw bench output must be echoed so the human still sees it.
 	if !strings.Contains(echo.String(), "BenchmarkGeneralPairScan/slots") {
 		t.Fatalf("input not echoed: %q", echo.String())
+	}
+}
+
+// TestRunDeterministicOutput: for a fixed -date, the emitted JSON is a
+// pure function of the input — byte-identical across runs (no map
+// iteration order or timestamps leaking into the artifact).
+func TestRunDeterministicOutput(t *testing.T) {
+	runOnce := func() string {
+		out := filepath.Join(t.TempDir(), "bench.json")
+		var echo strings.Builder
+		if err := run([]string{"-out", out, "-date", "2026-07-28"}, strings.NewReader(sample), &echo); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Fatalf("reruns diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRunStdoutWhenNoOut: omitting -out streams the JSON to stdout and
+// still echoes the raw input.
+func TestRunStdoutWhenNoOut(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	var echo strings.Builder
+	runErr := run([]string{"-date", "2026-07-28"}, strings.NewReader(sample), &echo)
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"benchmarks"`) {
+		t.Fatalf("stdout missing JSON payload:\n%s", data)
+	}
+}
+
+func TestRunFlagAndIOErrors(t *testing.T) {
+	var echo strings.Builder
+	if err := run([]string{"-bogus"}, strings.NewReader(""), &echo); err == nil {
+		t.Error("unknown flag: expected parse error")
+	}
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "out.json")
+	if err := run([]string{"-out", bad}, strings.NewReader(sample), &echo); err == nil {
+		t.Error("unwritable -out path: expected error")
+	}
+}
+
+// TestParseEmptyAndMalformed: an empty stream yields an empty (but
+// non-nil) benchmark list, and malformed Benchmark lines are skipped
+// rather than aborting the parse.
+func TestParseEmptyAndMalformed(t *testing.T) {
+	f, err := parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Benchmarks == nil || len(f.Benchmarks) != 0 {
+		t.Fatalf("empty input: got %+v", f.Benchmarks)
+	}
+	f, err = parse(strings.NewReader("BenchmarkOnlyName\nBenchmarkBadIters xx 1 ns/op\nBenchmarkGood 10 2.5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].Name != "BenchmarkGood" || f.Benchmarks[0].NsPerOp != 2.5 {
+		t.Fatalf("malformed lines mishandled: %+v", f.Benchmarks)
 	}
 }

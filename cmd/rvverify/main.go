@@ -10,6 +10,16 @@
 //	rvverify -n 4                 # certify the flagship construction
 //	rvverify -n 4 -alg crseq      # audit a baseline (expected to fail!)
 //	rvverify -n 5 -stride 7       # larger universe, strided offsets
+//	rvverify -stress 500 -seed 3  # randomized property stress instead
+//
+// -stress N leaves the exhaustive lattice and drives the property-based
+// generators (internal/proptest) from the command line: N randomized
+// overlapping pairs — universes up to 256, adversarial shapes, random
+// offsets — each checked against the algorithm's analytic TTR bound and
+// the time-shift metamorphic invariant. Violations are shrunk to a
+// minimal counterexample and printed with a replayable instance; the
+// run is a pure function of -seed. (-n and -stride apply only to the
+// exhaustive mode.)
 //
 // Exit status 0 means every checked pair/offset rendezvoused within the
 // analytic bound; 1 means a violation was found (printed with a
@@ -24,6 +34,7 @@ import (
 
 	"rendezvous"
 	"rendezvous/internal/pairsched"
+	"rendezvous/internal/proptest"
 	"rendezvous/internal/schedule"
 )
 
@@ -44,8 +55,16 @@ func run(args []string, out io.Writer) (bool, error) {
 	alg := fs.String("alg", "ours", "algorithm to certify: ours, general, crseq, jumpstay")
 	stride := fs.Int("stride", 1, "offset stride (1 = every offset)")
 	maxPairs := fs.Int("maxpairs", 0, "cap on subset pairs checked (0 = all)")
+	stress := fs.Int("stress", 0, "run N randomized property iterations instead of the exhaustive lattice")
+	seed := fs.Int64("seed", 1, "base seed for -stress (the run is a pure function of it)")
 	if err := fs.Parse(args); err != nil {
 		return false, err
+	}
+	if *stress < 0 {
+		return false, fmt.Errorf("stress must be ≥ 0")
+	}
+	if *stress > 0 {
+		return runStress(out, *alg, *stress, *seed)
 	}
 	if *n < 2 || *n > 10 {
 		return false, fmt.Errorf("n=%d out of certifiable range [2,10]", *n)
@@ -73,6 +92,45 @@ func verdict(ok bool) string {
 		return "PASS"
 	}
 	return "FAIL"
+}
+
+// runStress drives the property-based generators from the CLI: iters
+// randomized overlapping pairs of the chosen algorithm, each checked
+// against its analytic TTR bound and the time-shift metamorphic
+// invariant. Failures are shrunk to a minimal counterexample before
+// printing. Iteration i derives its instance from (seed, i) alone, so
+// any reported iteration replays with the same -seed.
+func runStress(out io.Writer, alg string, iters int, seed int64) (bool, error) {
+	switch alg {
+	case "ours", "general", "crseq", "jumpstay":
+	default:
+		return false, fmt.Errorf("stress mode supports ours, general, crseq, jumpstay; got %q", alg)
+	}
+	check := func(c proptest.PairCase) error {
+		if err := proptest.CheckPairBound(c); err != nil {
+			return err
+		}
+		return proptest.CheckPairTimeShift(c)
+	}
+	fmt.Fprintf(out, "stressing %s: %d randomized pair instances (seed %d)\n", alg, iters, seed)
+	violations := 0
+	for i := 0; i < iters; i++ {
+		c := proptest.GenPairCase(proptest.SeedRNG(seed, i), []string{alg})
+		err := check(c)
+		if err == nil {
+			continue
+		}
+		violations++
+		min := proptest.ShrinkPair(c, func(c2 proptest.PairCase) bool { return check(c2) != nil })
+		fmt.Fprintf(out, "  violation (iteration %d): %v\n    instance: %s\n    minimal:  %s\n", i, err, c, min)
+	}
+	fmt.Fprintf(out, "\nstress stage: %s (%d instances, %d violations)\n", verdict(violations == 0), iters, violations)
+	if violations == 0 {
+		fmt.Fprintln(out, "CERTIFIED: every stressed instance rendezvoused within its bound.")
+		return true, nil
+	}
+	fmt.Fprintln(out, "VIOLATIONS FOUND: see witnesses above.")
+	return false, nil
 }
 
 // certifyPairs runs the Theorem-1 certification: all size-2 overlapping

@@ -62,6 +62,74 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestStressCertifiesBoundedAlgs: the randomized property mode must
+// pass the algorithms with a real guarantee and report its stage line.
+func TestStressCertifiesBoundedAlgs(t *testing.T) {
+	for _, alg := range []string{"ours", "general"} {
+		var sb strings.Builder
+		ok, err := run([]string{"-stress", "150", "-alg", alg, "-seed", "7"}, &sb)
+		if err != nil {
+			t.Fatalf("alg %s: %v", alg, err)
+		}
+		if !ok {
+			t.Fatalf("alg %s failed stress:\n%s", alg, sb.String())
+		}
+		for _, want := range []string{"stressing " + alg, "150 randomized", "stress stage: PASS", "CERTIFIED"} {
+			if !strings.Contains(sb.String(), want) {
+				t.Fatalf("alg %s: output missing %q:\n%s", alg, want, sb.String())
+			}
+		}
+	}
+}
+
+// TestStressDeterministic: a stress run is a pure function of (-alg,
+// -stress, -seed) — two invocations must print byte-identical output.
+func TestStressDeterministic(t *testing.T) {
+	runOnce := func() string {
+		var sb strings.Builder
+		ok, err := run([]string{"-stress", "80", "-alg", "ours", "-seed", "42"}, &sb)
+		if err != nil || !ok {
+			t.Fatalf("stress run failed: ok=%v err=%v\n%s", ok, err, sb.String())
+		}
+		return sb.String()
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Fatalf("stress reruns diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestStressErrors(t *testing.T) {
+	var sb strings.Builder
+	if _, err := run([]string{"-stress", "-5"}, &sb); err == nil {
+		t.Error("negative stress: expected error")
+	}
+	if _, err := run([]string{"-stress", "10", "-alg", "random"}, &sb); err == nil {
+		t.Error("unbounded algorithm in stress mode: expected error")
+	}
+	if _, err := run([]string{"-stress", "10", "-alg", "bogus"}, &sb); err == nil {
+		t.Error("unknown algorithm in stress mode: expected error")
+	}
+	if _, err := run([]string{"-bogusflag"}, &sb); err == nil {
+		t.Error("unknown flag: expected parse error")
+	}
+}
+
+// TestExhaustiveDeterministic: the exhaustive certification output is
+// identical across runs (no map iteration or timing leaks).
+func TestExhaustiveDeterministic(t *testing.T) {
+	runOnce := func() string {
+		var sb strings.Builder
+		ok, err := run([]string{"-n", "3", "-stride", "7"}, &sb)
+		if err != nil || !ok {
+			t.Fatalf("run failed: ok=%v err=%v\n%s", ok, err, sb.String())
+		}
+		return sb.String()
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Fatalf("exhaustive reruns diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
 func TestMaxPairsCap(t *testing.T) {
 	var sb strings.Builder
 	ok, err := run([]string{"-n", "4", "-maxpairs", "3", "-stride", "17"}, &sb)

@@ -1,6 +1,7 @@
 // Smoke coverage for the example programs: each example must build AND
-// run to completion. CI builds them via `make build-examples`; this
-// test actually executes each main with a short timeout so a hanging or
+// run to completion, and must print the line that proves it exercised
+// its scenario. CI builds them via `make build-examples`; this test
+// actually executes each main with a short timeout so a hanging or
 // log.Fatal-ing example fails the suite instead of rotting silently.
 package examples
 
@@ -8,9 +9,25 @@ import (
 	"context"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
+
+// exampleProbes registers every example with a substring its output
+// must contain — the line that only prints when the example's scenario
+// actually completed. A new example must add itself here (the test
+// fails on unregistered directories), and a deleted or renamed one is
+// caught by the missing-directory check, so coverage cannot silently
+// lapse the way examples/whitespace's once did.
+var exampleProbes = map[string]string{
+	"audit":      "flagship channel-usage balance",
+	"beacon":     "trials:",
+	"coalition":  "despite the jammer camping",
+	"oneround":   "SDP + hyperplane rounding",
+	"quickstart": "worst TTR over 2000 wake offsets",
+	"whitespace": "worst observed:",
+}
 
 func TestExamplesRunToCompletion(t *testing.T) {
 	if _, err := exec.LookPath("go"); err != nil {
@@ -20,11 +37,22 @@ func TestExamplesRunToCompletion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(mains) == 0 {
-		t.Fatal("no examples found — glob or layout changed?")
+	found := map[string]bool{}
+	for _, m := range mains {
+		found[filepath.Dir(m)] = true
+	}
+	for dir := range exampleProbes {
+		if !found[dir] {
+			t.Errorf("registered example %s has no main.go — renamed or deleted?", dir)
+		}
 	}
 	for _, m := range mains {
 		dir := filepath.Dir(m)
+		probe, registered := exampleProbes[dir]
+		if !registered {
+			t.Errorf("example %s is not registered in exampleProbes — add it with an output probe", dir)
+			continue
+		}
 		t.Run(dir, func(t *testing.T) {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 			defer cancel()
@@ -36,8 +64,8 @@ func TestExamplesRunToCompletion(t *testing.T) {
 			if err != nil {
 				t.Fatalf("example %s failed: %v\n%s", dir, err, out)
 			}
-			if len(out) == 0 {
-				t.Errorf("example %s produced no output", dir)
+			if !strings.Contains(string(out), probe) {
+				t.Errorf("example %s output missing %q — did it complete its scenario?\n%s", dir, probe, out)
 			}
 		})
 	}

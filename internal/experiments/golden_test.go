@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden-report corpus: every experiment driver's rendered report,
+// at the CI-sized quick scale and the canonical seed, is committed
+// under testdata/golden/ and enforced byte for byte. The repository's
+// "byte-identical reports" claims are thereby checked by diff against
+// a committed artifact instead of being re-derived pairwise per test.
+//
+// Regenerate after an intentional output change with
+//
+//	make golden            # or: go test ./internal/experiments -run TestGoldenReports -update
+//
+// and review the diff like any other code change.
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenConfig is the corpus's pinned configuration. Workers is
+// deliberately left at the default (one per CPU): report bytes are
+// independent of worker count — that invariant is itself enforced by
+// TestReportsDeterministicAcrossWorkers, and any violation would show
+// up here as machine-dependent goldens.
+var goldenConfig = Config{Quick: true, Seed: 1}
+
+// goldenName maps a report ID to its corpus filename.
+func goldenName(id string) string {
+	clean := strings.ToLower(id)
+	clean = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '-'
+		}
+	}, clean)
+	return filepath.Join("testdata", "golden", clean+".golden")
+}
+
+func TestGoldenReports(t *testing.T) {
+	reports := All(goldenConfig)
+	if len(reports) == 0 {
+		t.Fatal("All returned no reports")
+	}
+	seen := map[string]bool{}
+	for _, rep := range reports {
+		path := goldenName(rep.ID)
+		if seen[path] {
+			t.Fatalf("duplicate golden filename %s (report ID %q)", path, rep.ID)
+		}
+		seen[path] = true
+		got := rep.String()
+		if *update {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden for report %q: %v\n(run `make golden` and commit the result)", rep.ID, err)
+		}
+		if got != string(want) {
+			t.Errorf("report %q diverged from %s:\n--- got ---\n%s\n--- want ---\n%s\n(if intentional, run `make golden`)",
+				rep.ID, path, got, want)
+		}
+	}
+	// The corpus must not accumulate stale files for retired reports.
+	entries, err := filepath.Glob(filepath.Join("testdata", "golden", "*.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !seen[e] {
+			t.Errorf("stale golden file %s has no generating report (delete it)", e)
+		}
+	}
+}

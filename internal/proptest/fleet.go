@@ -1,0 +1,383 @@
+package proptest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rendezvous/internal/scenario"
+	"rendezvous/internal/schedule"
+	"rendezvous/internal/simulator"
+)
+
+// FleetCase is one generated network-scale instance: a full Scenario
+// (fleet derivation plus churn/PU/jammer dynamics, all seed-derived)
+// and the algorithm building each agent's schedule.
+type FleetCase struct {
+	Alg string
+	Sc  scenario.Scenario
+}
+
+// String implements Case.
+func (c FleetCase) String() string {
+	return fmt.Sprintf("alg=%s %s", c.Alg, c.Sc)
+}
+
+// FleetAlgs is the roster scenario fleets draw from (the algorithms
+// scenario.BuilderFor supports).
+var FleetAlgs = []string{"ours", "general", "crseq", "crseq-rand", "jumpstay", "random"}
+
+// GenFleetCase draws a small scenario — the brute-force oracle engine
+// is O(agents²·horizon), so instances stay deliberately tiny while the
+// dynamics space (churn, primary users, jammer, all combinations) is
+// explored broadly.
+func GenFleetCase(rng *rand.Rand) FleetCase {
+	horizon := 512 + rng.Intn(3584)
+	sc := scenario.Scenario{
+		Name:    "prop",
+		N:       4 + rng.Intn(29),
+		Agents:  3 + rng.Intn(8),
+		Seed:    rng.Uint64(),
+		Horizon: horizon,
+	}
+	sc.K = 1 + rng.Intn(min(4, sc.N))
+	if rng.Intn(2) == 0 {
+		sc.Churn = scenario.Churn{
+			WakeSpread: rng.Intn(horizon / 2),
+			LeaveFrac:  rng.Float64(),
+			MinLife:    1 + rng.Intn(horizon/4),
+			MaxLife:    horizon/4 + rng.Intn(horizon),
+		}
+	}
+	if rng.Intn(2) == 0 {
+		sc.PU = scenario.PrimaryUsers{
+			Count:  1 + rng.Intn(4),
+			Window: 8 + rng.Intn(120),
+			OnFrac: rng.Float64(),
+		}
+	}
+	if rng.Intn(3) == 0 {
+		sc.Jammer = scenario.Jammer{Dwell: 1 + rng.Intn(64), Stride: rng.Intn(3)}
+	}
+	return FleetCase{Alg: FleetAlgs[rng.Intn(len(FleetAlgs))], Sc: sc}
+}
+
+// Build derives the fleet and environment.
+func (c FleetCase) Build() ([]simulator.Agent, simulator.Environment, error) {
+	build, err := scenario.BuilderFor(c.Alg, c.Sc.N, c.Sc.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.Sc.Build(build)
+}
+
+// CheckFleetEngines is the engine-equivalence oracle: the block-
+// evaluated joint engine, the per-slot reference path, and the pairwise
+// parallel decomposition must all reproduce the brute-force oracle
+// meeting for meeting, under whatever dynamics the scenario has.
+func CheckFleetEngines(c FleetCase) error {
+	agents, env, err := c.Build()
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	want := ReferenceRun(agents, c.Sc.Horizon, env)
+	eng, err := simulator.NewEngine(agents)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := sameMeetings(want, ResultMeetings(eng.RunEnv(c.Sc.Horizon, env))); err != nil {
+		return fmt.Errorf("block engine vs oracle: %w", err)
+	}
+	prev := simulator.SetBlockEval(false)
+	slots := eng.RunEnv(c.Sc.Horizon, env)
+	simulator.SetBlockEval(prev)
+	if err := sameMeetings(want, ResultMeetings(slots)); err != nil {
+		return fmt.Errorf("per-slot engine vs oracle: %w", err)
+	}
+	if err := sameMeetings(want, ResultMeetings(eng.RunParallelEnv(c.Sc.Horizon, 3, env))); err != nil {
+		return fmt.Errorf("pairwise parallel engine vs oracle: %w", err)
+	}
+	return nil
+}
+
+// CheckFleetPermutation is the agent-permutation metamorphic oracle:
+// shuffling the order agents are handed to the engine must not change
+// any meeting (names, slots, channels, TTRs).
+func CheckFleetPermutation(c FleetCase) error {
+	agents, env, err := c.Build()
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	perm := append([]simulator.Agent(nil), agents...)
+	rng := rand.New(rand.NewSource(int64(c.Sc.Seed)))
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	a, err := runMeetings(agents, c.Sc.Horizon, env)
+	if err != nil {
+		return err
+	}
+	b, err := runMeetings(perm, c.Sc.Horizon, env)
+	if err != nil {
+		return err
+	}
+	if err := sameMeetings(a, b); err != nil {
+		return fmt.Errorf("agent permutation changed meetings: %w", err)
+	}
+	return nil
+}
+
+// CheckFleetRelabel is the channel-relabeling metamorphic oracle:
+// applying a common injective relabeling π to every agent's hop
+// sequence (and translating environment decisions through π⁻¹) must
+// leave meeting structure unchanged — same pairs, same slots, same
+// TTRs, channels mapped by π.
+func CheckFleetRelabel(c FleetCase) error {
+	agents, env, err := c.Build()
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	pi, inv := relabeling(agents, int64(c.Sc.Seed))
+	relabeled := make([]simulator.Agent, len(agents))
+	for i, a := range agents {
+		a.Sched = NewRelabeled(a.Sched, pi)
+		relabeled[i] = a
+	}
+	var renv simulator.Environment
+	if env != nil {
+		renv = relabeledEnv{inner: env, inv: inv}
+	}
+	want, err := runMeetings(agents, c.Sc.Horizon, env)
+	if err != nil {
+		return err
+	}
+	got, err := runMeetings(relabeled, c.Sc.Horizon, renv)
+	if err != nil {
+		return err
+	}
+	if len(want) != len(got) {
+		return fmt.Errorf("relabeling changed meeting count: %d → %d", len(want), len(got))
+	}
+	for key, m := range want {
+		g, ok := got[key]
+		if !ok {
+			return fmt.Errorf("relabeling lost meeting %v", key)
+		}
+		if g.Slot != m.Slot || g.TTR != m.TTR || g.Channel != pi[m.Channel] {
+			return fmt.Errorf("relabeling changed meeting %v: %+v → %+v (want channel %d)", key, m, g, pi[m.Channel])
+		}
+	}
+	return nil
+}
+
+// relabeling builds a seed-derived injective map π over the union of
+// the fleet's complete hop sets (into a shuffled, sparse value range,
+// exercising the engine's dense remap), plus its inverse.
+func relabeling(agents []simulator.Agent, seed int64) (pi, inv map[int]int) {
+	seen := map[int]bool{}
+	var union []int
+	for _, a := range agents {
+		for _, c := range schedule.AllChannels(a.Sched) {
+			if !seen[c] {
+				seen[c] = true
+				union = append(union, c)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	targets := rng.Perm(3 * (len(union) + 1))
+	pi = make(map[int]int, len(union))
+	inv = make(map[int]int, len(union))
+	for i, c := range union {
+		v := 1 + targets[i] // sparse positive values, order-scrambling
+		pi[c] = v
+		inv[v] = c
+	}
+	return pi, inv
+}
+
+// CheckFleetTimeShift is the common-time-shift metamorphic oracle:
+// waking the whole fleet d slots later (and delaying the environment
+// by d) shifts every meeting slot by exactly d and changes nothing
+// else.
+func CheckFleetTimeShift(c FleetCase) error {
+	agents, env, err := c.Build()
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	const d = 97
+	shifted := make([]simulator.Agent, len(agents))
+	for i, a := range agents {
+		a.Wake += d
+		if a.Leave > 0 {
+			a.Leave += d
+		}
+		shifted[i] = a
+	}
+	var senv simulator.Environment
+	if env != nil {
+		senv = shiftedEnv{inner: env, d: d}
+	}
+	want, err := runMeetings(agents, c.Sc.Horizon, env)
+	if err != nil {
+		return err
+	}
+	got, err := runMeetings(shifted, c.Sc.Horizon+d, senv)
+	if err != nil {
+		return err
+	}
+	if len(want) != len(got) {
+		return fmt.Errorf("time shift changed meeting count: %d → %d", len(want), len(got))
+	}
+	for key, m := range want {
+		g, ok := got[key]
+		if !ok {
+			return fmt.Errorf("time shift lost meeting %v", key)
+		}
+		if g.Slot != m.Slot+d || g.TTR != m.TTR || g.Channel != m.Channel {
+			return fmt.Errorf("time shift by %d changed meeting %v: %+v → %+v", d, key, m, g)
+		}
+	}
+	return nil
+}
+
+// CheckScenarioDeterminism asserts the scenario layer's core contract:
+// Build is a pure function of the Scenario value, the environment is
+// random-access pure, and joint and pairwise runs agree at any worker
+// count.
+func CheckScenarioDeterminism(c FleetCase) error {
+	a1, env1, err := c.Build()
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	a2, env2, err := c.Build()
+	if err != nil {
+		return fmt.Errorf("rebuild: %w", err)
+	}
+	if len(a1) != len(a2) {
+		return fmt.Errorf("rebuild changed fleet size: %d → %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i].Name != a2[i].Name || a1[i].Wake != a2[i].Wake || a1[i].Leave != a2[i].Leave ||
+			!sameSet(a1[i].Sched.Channels(), a2[i].Sched.Channels()) {
+			return fmt.Errorf("rebuild changed agent %d: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+	if (env1 == nil) != (env2 == nil) {
+		return fmt.Errorf("rebuild changed environment presence")
+	}
+	if env1 != nil {
+		// Random-access purity: probe a scattered grid twice, in two
+		// different orders; decisions must agree call for call.
+		rng := rand.New(rand.NewSource(int64(c.Sc.Seed)))
+		type probe struct{ ch, t int }
+		probes := make([]probe, 64)
+		for i := range probes {
+			probes[i] = probe{ch: 1 + rng.Intn(c.Sc.N), t: rng.Intn(c.Sc.Horizon)}
+		}
+		first := make([]bool, len(probes))
+		for i, p := range probes {
+			first[i] = env1.Available(p.ch, p.t)
+		}
+		for i := len(probes) - 1; i >= 0; i-- {
+			if env2.Available(probes[i].ch, probes[i].t) != first[i] {
+				return fmt.Errorf("environment impure at (ch=%d, t=%d)", probes[i].ch, probes[i].t)
+			}
+		}
+	}
+	eng, err := simulator.NewEngine(a1)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	serial := ResultMeetings(eng.RunParallelEnv(c.Sc.Horizon, 1, env1))
+	wide := ResultMeetings(eng.RunParallelEnv(c.Sc.Horizon, 8, env1))
+	if err := sameMeetings(serial, wide); err != nil {
+		return fmt.Errorf("worker count changed result: %w", err)
+	}
+	return nil
+}
+
+// runMeetings runs agents on a fresh engine (joint block path) and
+// returns the canonical meeting map.
+func runMeetings(agents []simulator.Agent, horizon int, env simulator.Environment) (map[[2]string]simulator.Meeting, error) {
+	eng, err := simulator.NewEngine(agents)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return ResultMeetings(eng.RunEnv(horizon, env)), nil
+}
+
+// sameMeetings compares two meeting maps and describes the first
+// divergence.
+func sameMeetings(want, got map[[2]string]simulator.Meeting) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("meeting count %d vs %d", len(want), len(got))
+	}
+	for key, m := range want {
+		g, ok := got[key]
+		if !ok {
+			return fmt.Errorf("missing meeting %v (want %+v)", key, m)
+		}
+		if g != m {
+			return fmt.Errorf("meeting %v: %+v vs %+v", key, m, g)
+		}
+	}
+	return nil
+}
+
+// ShrinkFleet greedily reduces a failing fleet case while fails keeps
+// failing: fewer agents, dynamics zeroed one subsystem at a time,
+// shorter horizon, smaller channel sets, smaller universe.
+func ShrinkFleet(c FleetCase, fails func(FleetCase) bool) FleetCase {
+	for improved := true; improved; {
+		improved = false
+		if c.Sc.Agents > 2 {
+			cand := c
+			cand.Sc.Agents--
+			if fails(cand) {
+				c, improved = cand, true
+				continue
+			}
+		}
+		if c.Sc.Churn != (scenario.Churn{}) {
+			cand := c
+			cand.Sc.Churn = scenario.Churn{}
+			if fails(cand) {
+				c, improved = cand, true
+			}
+		}
+		if c.Sc.PU != (scenario.PrimaryUsers{}) {
+			cand := c
+			cand.Sc.PU = scenario.PrimaryUsers{}
+			if fails(cand) {
+				c, improved = cand, true
+			}
+		}
+		if c.Sc.Jammer.Dwell != 0 || c.Sc.Jammer.Stride != 0 || len(c.Sc.Jammer.Channels) > 0 {
+			cand := c
+			cand.Sc.Jammer = scenario.Jammer{}
+			if fails(cand) {
+				c, improved = cand, true
+			}
+		}
+		if h := c.Sc.Horizon / 2; h >= 64 {
+			cand := c
+			cand.Sc.Horizon = h
+			if fails(cand) {
+				c, improved = cand, true
+			}
+		}
+		if c.Sc.K > 1 {
+			cand := c
+			cand.Sc.K--
+			if fails(cand) {
+				c, improved = cand, true
+			}
+		}
+		if n := c.Sc.N / 2; n >= c.Sc.K && n >= 2 {
+			cand := c
+			cand.Sc.N = n
+			if fails(cand) {
+				c, improved = cand, true
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,144 @@
+package proptest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rendezvous/internal/baselines"
+	"rendezvous/internal/beacon"
+	"rendezvous/internal/schedule"
+	"rendezvous/internal/simulator"
+)
+
+// BoundedAlgs are the algorithms with a deterministic rendezvous
+// guarantee this package asserts as a paper-bound oracle: the flagship
+// (§3.2-wrapped) construction and the bare Theorem-3 schedule.
+var BoundedAlgs = []string{"ours", "general"}
+
+// MetaAlgs is the roster the metamorphic oracles draw from: every
+// schedule family in the repository, guaranteed or not — block
+// evaluation, compilation, and engine equivalence must hold for all of
+// them.
+var MetaAlgs = []string{
+	"ours", "general", "crseq", "crseq-rand", "jumpstay", "random",
+	"sweep", "cyclic", "constant", "dynamic", "beacon-fresh", "beacon-walk",
+}
+
+// randomPeriod caps the advertised period of the randomized baseline in
+// generated instances so Compile materializes it (the default 1<<22
+// period deliberately exceeds the compile cap).
+const randomPeriod = 1 << 12
+
+// BuildSchedule constructs one schedule of the named family over
+// channel set within universe [n]. seed feeds the randomized families;
+// deterministic ones ignore it. The wrapper families (dynamic) derive
+// their extra structure from seed too, so a (alg, n, set, seed) tuple
+// always rebuilds the identical schedule.
+func BuildSchedule(alg string, n int, set []int, seed int64) (schedule.Schedule, error) {
+	switch alg {
+	case "ours":
+		return schedule.NewAsync(n, set)
+	case "general":
+		return schedule.NewGeneral(n, set)
+	case "crseq":
+		return baselines.NewCRSEQ(n, set)
+	case "crseq-rand":
+		return baselines.NewCRSEQRandomized(n, set, uint64(seed))
+	case "jumpstay":
+		return baselines.NewJumpStay(n, set)
+	case "random":
+		return baselines.NewRandom(n, set, uint64(seed), randomPeriod)
+	case "sweep":
+		return baselines.NewSweep(n, set)
+	case "constant":
+		return schedule.NewConstant(set[0]), nil
+	case "cyclic":
+		// A pseudorandom walk over the set, length 1–64, touching every
+		// channel at least once so Channels() matches the intended set.
+		rng := rand.New(rand.NewSource(seed))
+		seq := append([]int(nil), set...)
+		target := 1 + rng.Intn(64)
+		for len(seq) < target {
+			seq = append(seq, set[rng.Intn(len(set))])
+		}
+		rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+		return schedule.NewCyclic(seq)
+	case "dynamic":
+		// 1–3 phases: the set shrinks or grows at seed-derived boundaries
+		// (the motivating cognitive-radio dynamics). Phase sets all keep
+		// set[0] so AllChannels stays overlapping with the base set.
+		rng := rand.New(rand.NewSource(seed))
+		phases := []schedule.Phase{{FromSlot: 0, Channels: set}}
+		from := 0
+		for p := 1 + rng.Intn(2); p > 0; p-- {
+			from += 1 + rng.Intn(4096)
+			phases = append(phases, schedule.Phase{FromSlot: from, Channels: subsetWith(rng, set, set[0])})
+		}
+		return schedule.NewDynamic(n, phases)
+	case "beacon-fresh":
+		return beacon.NewFresh(n, set, beacon.NewSource(uint64(seed)), beacon.Config{Period: randomPeriod})
+	case "beacon-walk":
+		return beacon.NewWalk(n, set, beacon.NewSource(uint64(seed)), beacon.Config{Period: randomPeriod})
+	default:
+		return nil, fmt.Errorf("proptest: unknown algorithm %q", alg)
+	}
+}
+
+// subsetWith returns a random non-empty subset of set containing keep.
+func subsetWith(rng *rand.Rand, set []int, keep int) []int {
+	out := []int{keep}
+	for _, c := range set {
+		if c != keep && rng.Intn(2) == 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GenUniverse draws a universe size biased toward the small values
+// where structural edge cases live (k ≈ n, shared extremes), with an
+// occasional medium one.
+func GenUniverse(rng *rand.Rand) int {
+	switch rng.Intn(4) {
+	case 0:
+		return 2 + rng.Intn(4) // 2–5: degenerate constructions
+	case 1:
+		return 6 + rng.Intn(11) // 6–16
+	case 2:
+		return 17 + rng.Intn(48) // 17–64
+	default:
+		return 65 + rng.Intn(192) // 65–256: multi-word Ramsey palettes
+	}
+}
+
+// GenSetSize draws a channel-set size for universe n, biased small
+// (the paper's regime: |S| ≪ n) but occasionally the full universe.
+func GenSetSize(rng *rand.Rand, n int) int {
+	k := 1 + rng.Intn(min(n, 8))
+	if rng.Intn(16) == 0 {
+		k = n
+	}
+	return k
+}
+
+// GenOverlappingSets draws two channel sets over [n] guaranteed to
+// share a channel: mostly random overlapping pairs, sometimes one of
+// the structured adversarial shapes, sometimes identical sets (the
+// symmetric case the §3.2 wrapper exists for).
+func GenOverlappingSets(rng *rand.Rand, n int) (a, b []int) {
+	switch {
+	case n >= 4 && rng.Intn(8) == 0:
+		adv := simulator.AdversarialPairs(n)
+		w := adv[rng.Intn(len(adv))]
+		return w.A, w.B
+	case rng.Intn(4) == 0:
+		k := GenSetSize(rng, n)
+		w := simulator.RandomOverlappingPair(rng, n, k, k)
+		return w.A, w.A // identical sets (symmetric case)
+	default:
+		w := simulator.RandomOverlappingPair(rng, n, GenSetSize(rng, n), GenSetSize(rng, n))
+		return w.A, w.B
+	}
+}

@@ -1,0 +1,241 @@
+package proptest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rendezvous/internal/schedule"
+	"rendezvous/internal/simulator"
+)
+
+// PairCase is one generated two-agent instance: an algorithm, a
+// universe, two overlapping channel sets, and agent B's wake offset
+// (A wakes at slot 0). Seed feeds randomized schedule families.
+type PairCase struct {
+	Alg  string
+	N    int
+	A, B []int
+	Off  int
+	Seed int64
+}
+
+// String implements Case. For the deterministic algorithms rvsim
+// builds identically (the rvverify roster) it renders a ready-to-run
+// rvsim command; the other families (randomized or proptest-local
+// constructions that rvsim seeds differently or does not know) get a
+// plain parameter dump instead of a command that would silently
+// rebuild a different schedule.
+func (c PairCase) String() string {
+	switch c.Alg {
+	case "ours", "general", "crseq", "jumpstay":
+		return fmt.Sprintf("rvsim -n %d -alg %s -agent a=%s -agent b=%s@%d",
+			c.N, c.Alg, joinInts(c.A), joinInts(c.B), c.Off)
+	}
+	return fmt.Sprintf("pair alg=%s n=%d a=%s b=%s off=%d seed=%d",
+		c.Alg, c.N, joinInts(c.A), joinInts(c.B), c.Off, c.Seed)
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// GenPairCase draws a pair instance whose algorithm comes from algs.
+// The offset is shaped toward small values (where boundary cases live)
+// with an occasional huge draw to cross period boundaries.
+func GenPairCase(rng *rand.Rand, algs []string) PairCase {
+	n := GenUniverse(rng)
+	a, b := GenOverlappingSets(rng, n)
+	c := PairCase{
+		Alg:  algs[rng.Intn(len(algs))],
+		N:    n,
+		A:    a,
+		B:    b,
+		Seed: rng.Int63(),
+	}
+	switch rng.Intn(4) {
+	case 0:
+		c.Off = rng.Intn(64)
+	case 1:
+		c.Off = rng.Intn(4096)
+	default:
+		c.Off = rng.Intn(1 << 17)
+	}
+	return c
+}
+
+// Build constructs both schedules and the analytic TTR bound (in slots
+// after both agents are awake) within which the pair must rendezvous.
+// bound is 0 for families with no deterministic guarantee.
+func (c PairCase) Build() (sa, sb schedule.Schedule, bound int, err error) {
+	sa, err = BuildSchedule(c.Alg, c.N, c.A, c.Seed)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	sb, err = BuildSchedule(c.Alg, c.N, c.B, c.Seed+1)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	switch c.Alg {
+	case "ours":
+		inner := sa.(*schedule.Symmetric).Inner().(*schedule.General)
+		if sameSet(c.A, c.B) {
+			// §3.2: identical sets hit (c0, c0) within the first whole
+			// overlapping 12-slot block — two blocks after both awake.
+			bound = 2 * schedule.SymmetricBlockLen
+		} else {
+			bound = schedule.SymmetricBlockLen*inner.RendezvousBound(len(c.B)) + 2*schedule.SymmetricBlockLen
+		}
+	case "general":
+		bound = sa.(*schedule.General).RendezvousBound(len(c.B))
+	case "crseq":
+		// The claimed CRSEQ guarantee (audited, not trusted: deterministic
+		// CRSEQ is known to miss — rvverify rediscovers the counterexample).
+		bound = 2 * max(sa.Period(), sb.Period())
+	case "jumpstay":
+		bound = max(sa.Period(), sb.Period())
+	}
+	return sa, sb, bound, nil
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckPairBound is the paper-bound oracle: the pair must rendezvous
+// within its analytic bound at the generated wake offset.
+func CheckPairBound(c PairCase) error {
+	sa, sb, bound, err := c.Build()
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	if bound <= 0 {
+		return fmt.Errorf("algorithm %q has no deterministic bound to assert", c.Alg)
+	}
+	ttr, ok := simulator.PairTTR(sa, sb, 0, c.Off, bound)
+	if !ok {
+		return fmt.Errorf("no rendezvous within bound %d slots", bound)
+	}
+	if ttr >= bound {
+		return fmt.Errorf("TTR %d ≥ bound %d", ttr, bound)
+	}
+	return nil
+}
+
+// CheckPairTimeShift is the common-time-shift metamorphic oracle:
+// waking both agents d slots later must not change the TTR (schedules
+// run on local clocks; only the relative offset matters).
+func CheckPairTimeShift(c PairCase) error {
+	sa, sb, _, err := c.Build()
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	const horizon = 1 << 16
+	ttr0, ok0 := simulator.PairTTR(sa, sb, 0, c.Off, horizon)
+	for _, d := range []int{1, 7, 4096} {
+		ttrD, okD := simulator.PairTTR(sa, sb, d, c.Off+d, horizon)
+		if ok0 != okD || ttr0 != ttrD {
+			return fmt.Errorf("shift by %d changed TTR: (%d,%v) → (%d,%v)", d, ttr0, ok0, ttrD, okD)
+		}
+	}
+	return nil
+}
+
+// ShrinkPair greedily reduces a failing pair case while fails keeps
+// reporting failure: drop channels from either set (preserving an
+// overlap), pull the offset toward 0, and shrink the universe to the
+// smallest that still contains both sets. The result is a local
+// minimum: no single remaining reduction step still fails.
+func ShrinkPair(c PairCase, fails func(PairCase) bool) PairCase {
+	for improved := true; improved; {
+		improved = false
+		// Try dropping each channel of each set.
+		for _, set := range []int{0, 1} {
+			cur := c.A
+			if set == 1 {
+				cur = c.B
+			}
+			for i := 0; i < len(cur); i++ {
+				if len(cur) == 1 {
+					break
+				}
+				smaller := append(append([]int(nil), cur[:i]...), cur[i+1:]...)
+				cand := c
+				if set == 0 {
+					cand.A = smaller
+				} else {
+					cand.B = smaller
+				}
+				if !overlap(cand.A, cand.B) {
+					continue
+				}
+				if fails(cand) {
+					c, improved = cand, true
+					break
+				}
+			}
+		}
+		// Pull the offset toward zero: halving first, then decrement.
+		for _, off := range []int{0, c.Off / 2, c.Off - 1} {
+			if off < 0 || off >= c.Off {
+				continue
+			}
+			cand := c
+			cand.Off = off
+			if fails(cand) {
+				c, improved = cand, true
+				break
+			}
+		}
+		// Shrink the universe toward the largest channel in use.
+		if m := maxInt(c.A, c.B); m < c.N && m >= 2 {
+			for _, n := range []int{m, (c.N + m) / 2} {
+				if n >= c.N || n < m || n < 2 {
+					continue
+				}
+				cand := c
+				cand.N = n
+				if fails(cand) {
+					c, improved = cand, true
+					break
+				}
+			}
+		}
+	}
+	return c
+}
+
+func overlap(a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func maxInt(sets ...[]int) int {
+	m := 2
+	for _, s := range sets {
+		for _, v := range s {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}

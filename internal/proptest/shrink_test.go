@@ -1,0 +1,164 @@
+package proptest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rendezvous/internal/schedule"
+)
+
+// This file proves the harness bites: a deliberately injected schedule
+// bug must be caught by the oracles, shrunk to a minimal counterexample,
+// and replayable from the printed seed. If these tests fail, the
+// property suite is decorative.
+
+// recorder implements T, capturing failures instead of aborting the
+// real test run. Fatalf panics with abortRun to mimic testing.T's
+// FailNow control flow.
+type recorder struct {
+	name   string
+	failed bool
+	fatal  string
+	logs   []string
+}
+
+type abortRun struct{}
+
+func (r *recorder) Helper()                 {}
+func (r *recorder) Name() string            { return r.name }
+func (r *recorder) Logf(f string, a ...any) { r.logs = append(r.logs, fmt.Sprintf(f, a...)) }
+func (r *recorder) Fatalf(f string, a ...any) {
+	r.failed = true
+	r.fatal = fmt.Sprintf(f, a...)
+	panic(abortRun{})
+}
+
+// runRecorded runs fn, swallowing the recorder's abort panic.
+func runRecorded(fn func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(abortRun); !ok {
+				panic(p)
+			}
+		}
+	}()
+	fn()
+}
+
+// buggyBlock sabotages a schedule's block path only: ChannelBlock
+// reports the lowest channel wherever the true channel is the highest
+// — the shape of a real epoch-boundary or remap-table bug, invisible
+// to per-slot evaluation and to single-channel sets.
+type buggyBlock struct {
+	schedule.Schedule
+}
+
+func (b buggyBlock) ChannelBlock(dst []int, start int) {
+	schedule.FillBlock(b.Schedule, dst, start)
+	chans := b.Schedule.Channels()
+	lo, hi := chans[0], chans[len(chans)-1]
+	for i := range dst {
+		if dst[i] == hi {
+			dst[i] = lo
+		}
+	}
+}
+
+// buggedBlockCheck builds the case's schedule with the block-path bug
+// injected and runs the real ChannelBlock ≡ Channel oracle against it.
+func buggedBlockCheck(c SchedCase) error {
+	s, err := c.Build()
+	if err != nil {
+		return nil // construction failures are not the injected bug
+	}
+	return BlockEquivErr(buggyBlock{s}, c.Seed)
+}
+
+// TestInjectedBlockBugCaughtAndShrunk: the oracle must detect the
+// sabotage, and ShrinkSched must reduce the counterexample to the
+// minimal shape — exactly two channels (one channel makes the bug
+// invisible) in the smallest universe containing them.
+func TestInjectedBlockBugCaughtAndShrunk(t *testing.T) {
+	fails := func(c SchedCase) bool { return buggedBlockCheck(c) != nil }
+	caught := 0
+	for i := 0; i < 40; i++ {
+		c := GenSchedCase(SeedRNG(DefaultSeed, i), []string{"ours", "general", "cyclic"})
+		if !fails(c) {
+			continue // e.g. a single-channel set: the bug cannot show
+		}
+		caught++
+		min := ShrinkSched(c, fails)
+		if !fails(min) {
+			t.Fatalf("shrinker 'fixed' the case: %s", min)
+		}
+		if len(min.Set) != 2 {
+			t.Fatalf("minimal counterexample has %d channels, want 2: %s (from %s)", len(min.Set), min, c)
+		}
+		if m := maxInt(min.Set); min.N != m {
+			t.Fatalf("minimal universe %d not shrunk to max channel %d: %s", min.N, m, min)
+		}
+	}
+	if caught < 10 {
+		t.Fatalf("injected bug caught only %d/40 times — generators too narrow", caught)
+	}
+}
+
+// TestForAllReportsAndReplays: ForAll must fail on the injected bug
+// with a minimal counterexample and a seed-replay command, and setting
+// PROPTEST_SEED to the printed iteration must reproduce the identical
+// failure.
+func TestForAllReportsAndReplays(t *testing.T) {
+	gen := func(rng *rand.Rand) SchedCase {
+		return GenSchedCase(rng, []string{"ours", "general", "cyclic"})
+	}
+	rec := &recorder{name: t.Name()}
+	runRecorded(func() { ForAll[SchedCase](rec, 40, gen, buggedBlockCheck, ShrinkSched) })
+	if !rec.failed {
+		t.Fatal("ForAll did not catch the injected bug")
+	}
+	for _, want := range []string{"minimal counterexample", ReplayEnv + "=", "go test -run"} {
+		if !strings.Contains(rec.fatal, want) {
+			t.Fatalf("failure message missing %q:\n%s", want, rec.fatal)
+		}
+	}
+	// Parse the printed iteration and replay exactly that seed.
+	var iter int
+	idx := strings.Index(rec.fatal, ReplayEnv+"=")
+	if _, err := fmt.Sscanf(rec.fatal[idx:], ReplayEnv+"=%d", &iter); err != nil {
+		t.Fatalf("cannot parse replay seed from:\n%s", rec.fatal)
+	}
+	t.Setenv(ReplayEnv, fmt.Sprint(iter))
+	replay := &recorder{name: t.Name()}
+	runRecorded(func() { ForAll[SchedCase](replay, 40, gen, buggedBlockCheck, ShrinkSched) })
+	if !replay.failed {
+		t.Fatalf("replay with %s=%d did not reproduce the failure", ReplayEnv, iter)
+	}
+	if replay.fatal != rec.fatal {
+		t.Fatalf("replay produced a different failure:\n--- first ---\n%s\n--- replay ---\n%s", replay.fatal, rec.fatal)
+	}
+}
+
+// TestShrinkPairSyntheticPredicate pins the pair shrinker's mechanics
+// on a transparent predicate: failing iff |A| ≥ 2 and Off ≥ 5 must
+// bottom out at exactly |A| = 2, |B| = 1, Off = 5, N = max channel.
+func TestShrinkPairSyntheticPredicate(t *testing.T) {
+	fails := func(c PairCase) bool {
+		return len(c.A) >= 2 && c.Off >= 5 && overlap(c.A, c.B)
+	}
+	start := PairCase{Alg: "ours", N: 64, A: []int{3, 9, 17, 40}, B: []int{9, 17, 22}, Off: 7919}
+	if !fails(start) {
+		t.Fatal("synthetic predicate should fail the starting case")
+	}
+	min := ShrinkPair(start, fails)
+	if len(min.A) != 2 || len(min.B) != 1 || min.Off != 5 {
+		t.Fatalf("minimal = %+v, want |A|=2 |B|=1 Off=5", min)
+	}
+	if want := maxInt(min.A, min.B); min.N != want {
+		t.Fatalf("minimal N = %d, want %d", min.N, want)
+	}
+	if !overlap(min.A, min.B) {
+		t.Fatalf("shrinker broke the overlap invariant: %+v", min)
+	}
+}

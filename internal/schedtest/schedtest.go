@@ -9,10 +9,21 @@ package schedtest
 
 import (
 	"sort"
-	"testing"
 
 	"rendezvous/internal/schedule"
 )
+
+// T is the subset of *testing.T the suite needs. An interface so the
+// suite can test itself: schedtest's own tests run Conform against
+// deliberately broken schedules with a failure recorder in place of a
+// real *testing.T, proving every clause actually bites.
+//
+// Fatalf must stop execution (like *testing.T's), either by FailNow
+// semantics or by panicking; Conform assumes it does not return.
+type T interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
 
 // maxProbe bounds how far past interesting boundaries the suite probes,
 // keeping the cost independent of the schedule's period.
@@ -47,7 +58,7 @@ func sampleSlots(p int) []int {
 //     every boundary the implementation cares about;
 //   - Channel(-1) and FillBlock at a negative start panic;
 //   - Compile(s) evaluates identically to s.
-func Conform(t *testing.T, s schedule.Schedule) {
+func Conform(t T, s schedule.Schedule) {
 	t.Helper()
 	p := s.Period()
 	if p <= 0 {
@@ -82,7 +93,7 @@ func Conform(t *testing.T, s schedule.Schedule) {
 }
 
 // checkChannelSets validates Channels/AllChannels shape invariants.
-func checkChannelSets(t *testing.T, s schedule.Schedule) {
+func checkChannelSets(t T, s schedule.Schedule) {
 	t.Helper()
 	chans := s.Channels()
 	if len(chans) == 0 {
@@ -135,7 +146,7 @@ func sortedKeys(m map[int]bool) []int {
 // checkBlocks asserts ChannelBlock ≡ Channel over windows chosen to
 // straddle period and implementation boundaries (words, epochs, seed
 // windows, segments), plus degenerate lengths.
-func checkBlocks(t *testing.T, s schedule.Schedule, p int) {
+func checkBlocks(t T, s schedule.Schedule, p int) {
 	t.Helper()
 	starts := []int{0, 1, 7, 11, p - 1, p, p + 3, 2*p - 1}
 	lengths := []int{1, 2, 3, 13, 63, 64, 65, 256, 300}
@@ -164,11 +175,19 @@ func checkBlocks(t *testing.T, s schedule.Schedule, p int) {
 	schedule.FillBlock(s, buf[:0], -1)
 }
 
-// checkNegativeSlots asserts the uniform negative-slot contract.
-func checkNegativeSlots(t *testing.T, s schedule.Schedule) {
+// checkNegativeSlots asserts the uniform negative-slot contract. The
+// block probe goes to the implementation's own ChannelBlock when it has
+// one — FillBlock's entry guard would otherwise mask an implementation
+// that tolerates negative starts (a gap this suite's self-test caught).
+func checkNegativeSlots(t T, s schedule.Schedule) {
 	t.Helper()
 	if !panics(func() { s.Channel(-1) }) {
 		t.Fatalf("Channel(-1) did not panic")
+	}
+	if b, ok := s.(schedule.BlockEvaluator); ok {
+		if !panics(func() { b.ChannelBlock(make([]int, 4), -3) }) {
+			t.Fatalf("ChannelBlock(start=-3) did not panic")
+		}
 	}
 	if !panics(func() { schedule.FillBlock(s, make([]int, 4), -3) }) {
 		t.Fatalf("FillBlock(start=-3) did not panic")
@@ -187,7 +206,7 @@ func panics(f func()) (panicked bool) {
 
 // checkCompile asserts that Compile yields an evaluation-equivalent
 // schedule (whether or not it produced a table).
-func checkCompile(t *testing.T, s schedule.Schedule, p int) {
+func checkCompile(t T, s schedule.Schedule, p int) {
 	t.Helper()
 	c := schedule.CompileCap(s, maxProbe) // small cap keeps the suite cheap
 	if c == nil {
