@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: build build-examples fmt-check vet test race bench bench-smoke ci \
-	fuzz-smoke cover golden
+	fuzz-smoke cover golden bench-json bench-json-smoke bench-compare \
+	bench-compare-smoke
 
 build:
 	$(GO) build ./...
@@ -53,16 +54,50 @@ bench-json:
 bench-json-smoke:
 	$(MAKE) bench-json BENCHTIME=1x
 
+# Regression gate on the committed benchmark trajectory: regenerate the
+# trajectory point (bench-json), materialize the newest committed
+# BENCH_*.json from git (the working-tree file may just have been
+# overwritten by the same-day run), and diff them with cmd/benchjson
+# -compare. Selection and content both come from HEAD (ls-tree, not
+# ls-files) so a freshly staged-but-uncommitted point never selects a
+# baseline `git show HEAD:` cannot produce. Thresholds are percentages;
+# override for noisy hosts.
+BENCH_BASE ?= $(shell git ls-tree --name-only HEAD -- 'BENCH_*.json' | sort | tail -1)
+BENCH_FAIL_OVER ?= 5
+BENCH_FAIL_ALLOCS_OVER ?= 10
+bench-compare: bench-json
+	@test -n "$(BENCH_BASE)" || { echo "no committed BENCH_*.json baseline"; exit 1; }
+	@git show HEAD:$(BENCH_BASE) > bench-base.json
+	$(GO) run ./cmd/benchjson -compare -fail-over $(BENCH_FAIL_OVER) \
+		-fail-allocs-over $(BENCH_FAIL_ALLOCS_OVER) bench-base.json $(BENCH_JSON) \
+		|| { rm -f bench-base.json; exit 1; }
+	@rm -f bench-base.json
+
+# CI variant: one iteration per benchmark. Single-iteration wall times
+# swing wildly on shared runners, so the ns gate is wide open there and
+# the allocs gate (deterministic at fixed code) does the real work.
+bench-compare-smoke:
+	$(MAKE) bench-compare BENCHTIME=1x BENCH_FAIL_OVER=900 BENCH_FAIL_ALLOCS_OVER=25
+
 # Time-boxed coverage-guided fuzzing over the property oracles
-# (internal/proptest): each target gets FUZZTIME of mutation on top of
-# its committed seed corpus. Crashers land in
-# internal/proptest/testdata/fuzz/ (CI uploads them as artifacts).
+# (internal/proptest) and the CLI parsers (cmd/benchjson, cmd/rvsim):
+# each pkg:Target gets FUZZTIME of mutation on top of its committed
+# seed corpus. Crashers land in the package's testdata/fuzz/ (CI
+# uploads them as artifacts).
 FUZZTIME ?= 10s
-FUZZ_TARGETS = FuzzCompile FuzzBlockEquivalence FuzzEngineVsLegacy FuzzScenarioEnv
+FUZZ_TARGETS = \
+	./internal/proptest:FuzzCompile \
+	./internal/proptest:FuzzBlockEquivalence \
+	./internal/proptest:FuzzEngineVsLegacy \
+	./internal/proptest:FuzzScenarioEnv \
+	./cmd/benchjson:FuzzParseBenchLine \
+	./cmd/benchjson:FuzzParseStream \
+	./cmd/rvsim:FuzzParseAgentSpec
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "fuzzing $$t for $(FUZZTIME)"; \
-		$(GO) test ./internal/proptest -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+		pkg=$${t%%:*}; tgt=$${t##*:}; \
+		echo "fuzzing $$pkg $$tgt for $(FUZZTIME)"; \
+		$(GO) test $$pkg -run '^$$' -fuzz "^$$tgt$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 
 # Coverage with a floor on internal/... — the packages carrying the
@@ -83,4 +118,6 @@ golden:
 	$(GO) test -run 'TestGolden' ./internal/experiments ./cmd/rvsim -update -count=1
 
 # The exact sequence CI runs; keep local and CI invocations identical.
-ci: fmt-check vet build build-examples race cover bench-json-smoke
+# bench-compare-smoke subsumes bench-json-smoke (it regenerates the
+# trajectory point, then gates it against the committed baseline).
+ci: fmt-check vet build build-examples race cover bench-compare-smoke

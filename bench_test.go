@@ -187,6 +187,46 @@ func BenchmarkEngineRunParallelWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineJointWorkers measures the time-sharded joint engine
+// against the serial joint scan on a 256-agent fleet over a 40-channel
+// universe — the acceptance benchmark for the sharded path. Primary
+// users occupy 8 channels full-time, so some meetable pairs never meet
+// and every run scans the full horizon: stable per-iteration work with
+// no early-exit noise. Results are byte-identical at every worker
+// count; only wall-clock may differ. On a single-core host the curve
+// is flat; on ≥8 cores workers=8 should run ≥3× the serial scan.
+func BenchmarkEngineJointWorkers(b *testing.B) {
+	sc := rendezvous.Scenario{
+		N: 40, Agents: 256, K: 4, Seed: 7, Horizon: 1 << 14,
+		Churn: rendezvous.Churn{WakeSpread: 2000},
+		PU:    rendezvous.PrimaryUsers{Count: 8, Window: 1024, OnFrac: 1},
+	}
+	build, err := rendezvous.ScenarioBuilder("ours", sc.N, sc.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	agents, env, err := sc.Build(build)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := rendezvous.NewEngine(agents)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += eng.RunEnv(sc.Horizon, env).MetCount()
+		}
+	})
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink += eng.RunJointParallelEnv(sc.Horizon, w, env).MetCount()
+			}
+		})
+	}
+}
+
 // --- block evaluation -------------------------------------------------
 
 // runBlockModes runs fn once per evaluation mode: the per-slot

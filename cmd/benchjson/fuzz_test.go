@@ -1,0 +1,96 @@
+package main
+
+import (
+	"maps"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// renderResult is the canonical inverse of parseResult: it lays a
+// parsed Benchmark back out as a `go test -bench` result line. Floats
+// use strconv's shortest round-trippable form, metrics print in sorted
+// unit order.
+func renderResult(b Benchmark) string {
+	var sb strings.Builder
+	sb.WriteString(b.Name)
+	if b.Procs > 1 {
+		sb.WriteString("-")
+		sb.WriteString(strconv.Itoa(b.Procs))
+	}
+	sb.WriteString(" ")
+	sb.WriteString(strconv.FormatInt(b.Iterations, 10))
+	sb.WriteString(" ")
+	sb.WriteString(strconv.FormatFloat(b.NsPerOp, 'g', -1, 64))
+	sb.WriteString(" ns/op")
+	units := make([]string, 0, len(b.Metrics))
+	for u := range b.Metrics {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		sb.WriteString(" ")
+		sb.WriteString(strconv.FormatFloat(b.Metrics[u], 'g', -1, 64))
+		sb.WriteString(" ")
+		sb.WriteString(u)
+	}
+	return sb.String()
+}
+
+// FuzzParseBenchLine hammers the bench-line parser with arbitrary
+// input. Properties: it never panics; and for every line it accepts,
+// the canonical re-rendering parses back to a fixed point (render ∘
+// parse is idempotent), so accepted lines have a stable, lossless
+// interpretation. The seed corpus lives in
+// testdata/fuzz/FuzzParseBenchLine/.
+func FuzzParseBenchLine(f *testing.F) {
+	f.Add("BenchmarkGeneralPairScan/block 2899 408896 ns/op 4096 B/op 2 allocs/op")
+	f.Add("BenchmarkChannelLookupOurs-8 31210146 38.52 ns/op")
+	f.Add("BenchmarkX 1 2 custom/op 3 ns/op")
+	f.Add("BenchmarkOnlyName")
+	f.Add("pkg: rendezvous")
+	f.Fuzz(func(t *testing.T, line string) {
+		b1, ok := parseResult(line)
+		if !ok {
+			return
+		}
+		l1 := renderResult(b1)
+		b2, ok2 := parseResult(l1)
+		if !ok2 {
+			t.Fatalf("rendered line rejected:\n input: %q\nrender: %q", line, l1)
+		}
+		if l2 := renderResult(b2); l1 != l2 {
+			t.Fatalf("render not a fixed point:\n input: %q\n  l1: %q\n  l2: %q", line, l1, l2)
+		}
+		// The sub-fields of the two parses must agree structurally too
+		// (NaN-valued metrics compare via their rendering above).
+		if b1.Name != b2.Name || b1.Procs != b2.Procs || b1.Iterations != b2.Iterations {
+			t.Fatalf("reparse changed identity: %+v vs %+v", b1, b2)
+		}
+		if len(b1.Metrics) != len(b2.Metrics) || !maps.Equal(keysOf(b1.Metrics), keysOf(b2.Metrics)) {
+			t.Fatalf("reparse changed metric units: %+v vs %+v", b1.Metrics, b2.Metrics)
+		}
+	})
+}
+
+func keysOf(m map[string]float64) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// FuzzParseStream feeds arbitrary multi-line streams through the full
+// parser: it must never panic and must always return a non-nil file.
+func FuzzParseStream(f *testing.F) {
+	f.Add(sample)
+	f.Add("goos: linux\nBenchmarkA 1 1 ns/op\n\nok rendezvous 1s\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		file, err := parse(strings.NewReader(input))
+		if err == nil && file == nil {
+			t.Fatal("nil file without error")
+		}
+	})
+}

@@ -11,6 +11,15 @@
 // that are not benchmark results — pkg/goos/cpu headers, PASS/ok
 // trailers — set context or are ignored, so piping a whole `go test`
 // session through is safe.
+//
+// Compare mode turns two trajectory points into a regression gate:
+//
+//	benchjson -compare -fail-over 5 -fail-allocs-over 10 old.json new.json
+//
+// prints a per-benchmark delta table (ns/op and allocs/op) and exits
+// nonzero when any matched benchmark regressed past a threshold.
+// Negative thresholds (the default) report without gating, so the same
+// invocation serves both humans and CI.
 package main
 
 import (
@@ -19,7 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -57,8 +68,28 @@ func run(args []string, in io.Reader, echo io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("out", "", "output file (stdout when empty)")
 	date := fs.String("date", time.Now().Format("2006-01-02"), "date stamp recorded in the file")
+	compare := fs.Bool("compare", false, "compare two trajectory files: benchjson -compare old.json new.json")
+	failOver := fs.Float64("fail-over", -1, "compare mode: fail when any ns/op regression exceeds this percentage (negative = report only)")
+	failAllocsOver := fs.Float64("fail-allocs-over", -1, "compare mode: fail when any allocs/op regression exceeds this percentage (negative = report only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare wants exactly two files, got %d args", fs.NArg())
+		}
+		// -out means the same thing here as in conversion mode: where the
+		// product (the delta table) goes.
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), *failOver, *failAllocsOver, w)
 	}
 	f, err := parse(io.TeeReader(in, echo))
 	if err != nil {
@@ -123,6 +154,11 @@ func parseResult(line string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	name, procs := splitProcs(fields[0])
+	if name == "" {
+		// A bare procs suffix ("-8 …") would otherwise yield a nameless
+		// benchmark no trajectory file could match (found by FuzzParseBenchLine).
+		return Benchmark{}, false
+	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Benchmark{}, false
@@ -150,15 +186,149 @@ func parseResult(line string) (Benchmark, bool) {
 	return b, true
 }
 
+// loadFile reads one trajectory point from disk.
+func loadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// benchKey identifies a benchmark across trajectory points.
+func benchKey(b Benchmark) string { return b.Pkg + "\x00" + b.Name }
+
+// minAllocsDelta is the absolute allocs/op movement below which the
+// percentage gate stays quiet; see the comment at its use.
+const minAllocsDelta = 8
+
+// runCompare renders the per-benchmark delta table between two
+// trajectory points and applies the regression thresholds. Benchmarks
+// present in only one file are listed but never gate (a new benchmark
+// is not a regression; a removed one is a review question, not a CI
+// failure).
+func runCompare(oldPath, newPath string, failOver, failAllocsOver float64, out io.Writer) error {
+	oldF, err := loadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := loadFile(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Benchmark, len(oldF.Benchmarks))
+	for _, b := range oldF.Benchmarks {
+		if _, dup := oldBy[benchKey(b)]; !dup {
+			oldBy[benchKey(b)] = b
+		}
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	fmt.Fprintf(w, "benchmark trajectory: %s (%s) -> %s (%s)\n\n", oldPath, oldF.Date, newPath, newF.Date)
+	fmt.Fprintf(w, "%-56s %14s %14s %9s %10s %10s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns/op", "old allocs", "new allocs", "Δallocs")
+	var violations []string
+	matched := make(map[string]bool)
+	for _, nb := range newF.Benchmarks {
+		key := benchKey(nb)
+		ob, ok := oldBy[key]
+		if !ok || matched[key] {
+			continue
+		}
+		matched[key] = true
+		nsDelta := pctDelta(ob.NsPerOp, nb.NsPerOp)
+		oldAllocs, okOld := ob.Metrics["allocs/op"]
+		newAllocs, okNew := nb.Metrics["allocs/op"]
+		allocsDelta := math.NaN()
+		if okOld && okNew {
+			allocsDelta = pctDelta(oldAllocs, newAllocs)
+		}
+		fmt.Fprintf(w, "%-56s %14.0f %14.0f %9s %10s %10s %9s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, fmtPct(nsDelta),
+			fmtAllocs(oldAllocs, okOld), fmtAllocs(newAllocs, okNew), fmtPct(allocsDelta))
+		if failOver >= 0 && !math.IsNaN(nsDelta) && nsDelta > failOver {
+			violations = append(violations,
+				fmt.Sprintf("%s: ns/op %+.1f%% exceeds %.1f%%", nb.Name, nsDelta, failOver))
+		}
+		// Percentage alone misfires on tiny counts (2 → 3 allocs is
+		// "+50%" but usually a one-time pool or cache warm-up caught by
+		// a single-iteration run), so the allocs gate also requires an
+		// absolute movement of more than minAllocsDelta.
+		if failAllocsOver >= 0 && !math.IsNaN(allocsDelta) && allocsDelta > failAllocsOver &&
+			newAllocs-oldAllocs > minAllocsDelta {
+			violations = append(violations,
+				fmt.Sprintf("%s: allocs/op %+.1f%% exceeds %.1f%%", nb.Name, allocsDelta, failAllocsOver))
+		}
+	}
+	var added, removed []string
+	for _, nb := range newF.Benchmarks {
+		if _, ok := oldBy[benchKey(nb)]; !ok {
+			added = append(added, nb.Name)
+		}
+	}
+	for _, ob := range oldF.Benchmarks {
+		if !matched[benchKey(ob)] {
+			removed = append(removed, ob.Name)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	if len(added) > 0 {
+		fmt.Fprintf(w, "\nonly in %s: %s\n", newPath, strings.Join(added, ", "))
+	}
+	if len(removed) > 0 {
+		fmt.Fprintf(w, "only in %s: %s\n", oldPath, strings.Join(removed, ", "))
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(w, "\nREGRESSIONS:\n")
+		for _, v := range violations {
+			fmt.Fprintf(w, "  %s\n", v)
+		}
+		w.Flush()
+		return fmt.Errorf("%d benchmark regression(s) past threshold", len(violations))
+	}
+	return nil
+}
+
+// pctDelta returns the percentage change old → new, NaN when the old
+// value cannot anchor a percentage.
+func pctDelta(old, new float64) float64 {
+	if old == 0 || math.IsNaN(old) || math.IsNaN(new) {
+		return math.NaN()
+	}
+	return (new - old) / old * 100
+}
+
+func fmtPct(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", v)
+}
+
+func fmtAllocs(v float64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
 // splitProcs splits the trailing -N GOMAXPROCS suffix off a benchmark
-// name (the suffix is only appended when GOMAXPROCS > 1).
+// name. The testing package only appends the suffix when GOMAXPROCS is
+// greater than 1, so a trailing "-1" (or "-0") is part of the name, not
+// a suffix — stripping it would change the name a reparse of the
+// canonical rendering sees (found by FuzzParseBenchLine).
 func splitProcs(s string) (string, int) {
 	i := strings.LastIndex(s, "-")
 	if i < 0 {
 		return s, 1
 	}
 	n, err := strconv.Atoi(s[i+1:])
-	if err != nil || n < 1 {
+	if err != nil || n < 2 {
 		return s, 1
 	}
 	return s[:i], n

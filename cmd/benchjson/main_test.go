@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -129,6 +130,105 @@ func TestRunFlagAndIOErrors(t *testing.T) {
 	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "out.json")
 	if err := run([]string{"-out", bad}, strings.NewReader(sample), &echo); err == nil {
 		t.Error("unwritable -out path: expected error")
+	}
+}
+
+// writeTrajectory writes a trajectory point for compare-mode tests.
+func writeTrajectory(t *testing.T, dir, name, date string, benches []Benchmark) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f := File{Date: date, Benchmarks: benches}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(pkg, name string, ns, allocs float64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, Procs: 1, Iterations: 1, NsPerOp: ns,
+		Metrics: map[string]float64{"allocs/op": allocs}}
+}
+
+// TestCompareTableAndGate: compare mode renders deltas for matched
+// benchmarks, lists additions/removals without failing on them, and
+// gates only on threshold-crossing regressions.
+func TestCompareTableAndGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTrajectory(t, dir, "old.json", "2026-07-01", []Benchmark{
+		bench("p", "BenchmarkStable", 1000, 10),
+		bench("p", "BenchmarkFaster", 2000, 40),
+		bench("p", "BenchmarkGone", 10, 1),
+	})
+	new := writeTrajectory(t, dir, "new.json", "2026-07-28", []Benchmark{
+		bench("p", "BenchmarkStable", 1020, 10), // +2% ns: under a 5% gate
+		bench("p", "BenchmarkFaster", 1000, 20), // improvement: never gates
+		bench("p", "BenchmarkNew", 5, 2),
+	})
+	var out strings.Builder
+	if err := runCompare(old, new, 5, 10, &out); err != nil {
+		t.Fatalf("within thresholds, got error: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"BenchmarkStable", "+2.0%", "-50.0%",
+		"only in " + new + ": BenchmarkNew", "only in " + old + ": BenchmarkGone"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, out.String())
+		}
+	}
+	// Tighten the ns gate below the +2% drift: now it must fail.
+	out.Reset()
+	if err := runCompare(old, new, 1, -1, &out); err == nil {
+		t.Fatalf("2%% regression passed a 1%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSIONS") {
+		t.Fatalf("violation table missing:\n%s", out.String())
+	}
+	// Allocs gate: regress allocs only.
+	regressed := writeTrajectory(t, dir, "regressed.json", "2026-07-29", []Benchmark{
+		bench("p", "BenchmarkStable", 1000, 30),
+	})
+	if err := runCompare(old, regressed, -1, 10, &out); err == nil {
+		t.Fatal("3x allocs passed a 10% allocs gate")
+	}
+	// Negative thresholds: report-only, never fails.
+	if err := runCompare(old, regressed, -1, -1, &out); err != nil {
+		t.Fatalf("report-only mode failed: %v", err)
+	}
+}
+
+// TestCompareViaRun drives compare mode through the CLI surface,
+// including its argument and file errors.
+func TestCompareViaRun(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTrajectory(t, dir, "old.json", "a", []Benchmark{bench("p", "BenchmarkX", 100, 1)})
+	new := writeTrajectory(t, dir, "new.json", "b", []Benchmark{bench("p", "BenchmarkX", 101, 1)})
+	var echo strings.Builder
+	report := filepath.Join(dir, "report.txt")
+	if err := run([]string{"-compare", "-out", report, old, new}, strings.NewReader(""), &echo); err != nil {
+		t.Fatalf("compare via run: %v", err)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("-out ignored in compare mode: %v", err)
+	}
+	if !strings.Contains(string(data), "BenchmarkX") {
+		t.Fatalf("delta table missing from -out file:\n%s", data)
+	}
+	if err := run([]string{"-compare", old}, strings.NewReader(""), &echo); err == nil {
+		t.Error("one file: expected usage error")
+	}
+	if err := run([]string{"-compare", old, filepath.Join(dir, "missing.json")}, strings.NewReader(""), &echo); err == nil {
+		t.Error("missing file: expected error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", old, bad}, strings.NewReader(""), &echo); err == nil {
+		t.Error("malformed JSON: expected error")
 	}
 }
 

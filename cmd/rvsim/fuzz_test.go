@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// renderAgent is the canonical inverse of parseAgent: name=c1,c2@wake.
+// The wake suffix always prints, because a parsed spec's wake is
+// defined (zero when omitted) and the canonical form must round-trip.
+func renderAgent(sp agentSpec) string {
+	parts := make([]string, len(sp.channels))
+	for i, c := range sp.channels {
+		parts[i] = fmt.Sprint(c)
+	}
+	return fmt.Sprintf("%s=%s@%d", sp.name, strings.Join(parts, ","), sp.wake)
+}
+
+// FuzzParseAgentSpec hammers rvsim's -agent spec parser with arbitrary
+// input. Properties: it never panics; every accepted spec is
+// structurally valid (non-empty name, at least one channel,
+// non-negative wake); and the canonical re-rendering parses back to the
+// identical spec, so accepted specs have one lossless interpretation.
+// The seed corpus lives in testdata/fuzz/FuzzParseAgentSpec/.
+func FuzzParseAgentSpec(f *testing.F) {
+	f.Add("base=10,20,30")
+	f.Add("drone=20,40@25")
+	f.Add("sensor=30, 40@90")
+	f.Add("x=1")
+	f.Add("=1,2@3")
+	f.Add("a=b,c")
+	f.Fuzz(func(t *testing.T, input string) {
+		sp, err := parseAgent(input)
+		if err != nil {
+			return
+		}
+		if sp.name == "" {
+			t.Fatalf("accepted empty name: %q", input)
+		}
+		if len(sp.channels) == 0 {
+			t.Fatalf("accepted empty channel list: %q", input)
+		}
+		if sp.wake < 0 {
+			t.Fatalf("accepted negative wake %d: %q", sp.wake, input)
+		}
+		canon := renderAgent(sp)
+		sp2, err := parseAgent(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected:\n input: %q\n canon: %q\n error: %v", input, canon, err)
+		}
+		if renderAgent(sp2) != canon {
+			t.Fatalf("canonical form not a fixed point:\n input: %q\n canon: %q\nreparse: %q",
+				input, canon, renderAgent(sp2))
+		}
+	})
+}

@@ -71,9 +71,13 @@ func (c FleetCase) Build() ([]simulator.Agent, simulator.Environment, error) {
 }
 
 // CheckFleetEngines is the engine-equivalence oracle: the block-
-// evaluated joint engine, the per-slot reference path, and the pairwise
-// parallel decomposition must all reproduce the brute-force oracle
-// meeting for meeting, under whatever dynamics the scenario has.
+// evaluated joint engine, the per-slot reference path, the pairwise
+// parallel decomposition, and the time-sharded joint engine must all
+// reproduce the brute-force oracle meeting for meeting, under whatever
+// dynamics the scenario has. The sharded path runs at several worker
+// counts because each count induces a different window partition of the
+// time axis — partition invariance is exactly the property its exact-
+// decomposition argument rests on.
 func CheckFleetEngines(c FleetCase) error {
 	agents, env, err := c.Build()
 	if err != nil {
@@ -95,6 +99,11 @@ func CheckFleetEngines(c FleetCase) error {
 	}
 	if err := sameMeetings(want, ResultMeetings(eng.RunParallelEnv(c.Sc.Horizon, 3, env))); err != nil {
 		return fmt.Errorf("pairwise parallel engine vs oracle: %w", err)
+	}
+	for _, workers := range []int{2, 5} {
+		if err := sameMeetings(want, ResultMeetings(eng.RunJointParallelEnv(c.Sc.Horizon, workers, env))); err != nil {
+			return fmt.Errorf("time-sharded joint engine (workers=%d) vs oracle: %w", workers, err)
+		}
 	}
 	return nil
 }

@@ -81,6 +81,14 @@ func TestPropFleetTimeShift(t *testing.T) {
 	ForAll(t, Iters(30), GenFleetCase, CheckFleetTimeShift, ShrinkFleet)
 }
 
+// TestPropSweepPartition: SweepOffsets folded over any contiguous
+// chunking of its offsets via MergeTTR equals the serial sweep exactly
+// (including the Max/WorstOff tie-break), and the parallel sweep agrees
+// at any worker count.
+func TestPropSweepPartition(t *testing.T) {
+	ForAll(t, Iters(60), GenSweepCase, CheckSweepPartition, ShrinkSweep)
+}
+
 // TestPropScenarioDeterminism: fleet derivation and environment
 // decisions are pure functions of the seed, and worker count never
 // changes a result.

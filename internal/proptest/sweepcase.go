@@ -1,0 +1,150 @@
+package proptest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rendezvous/internal/simulator"
+	"rendezvous/internal/sweep"
+)
+
+// SweepCase is one generated offset-sweep instance: a schedule pair
+// (any family) plus the offset list and horizon handed to
+// SweepOffsets. It backs the sweep layer's metamorphic oracle:
+// chunk-partition invariance.
+type SweepCase struct {
+	Pair    PairCase
+	Offsets []int
+	Horizon int
+}
+
+// String implements Case.
+func (c SweepCase) String() string {
+	return fmt.Sprintf("sweep offsets=%d horizon=%d %s", len(c.Offsets), c.Horizon, c.Pair)
+}
+
+// GenSweepCase draws a sweep instance: offsets mix the small values
+// where ties and epoch boundaries live with period-scale draws, and the
+// horizon is short enough that some offsets fail (exercising the
+// Failures/Max tie-break bookkeeping MergeTTR must replicate).
+func GenSweepCase(rng *rand.Rand) SweepCase {
+	c := SweepCase{
+		Pair:    GenPairCase(rng, MetaAlgs),
+		Horizon: 64 + rng.Intn(4096),
+	}
+	count := 1 + rng.Intn(160)
+	c.Offsets = make([]int, count)
+	for i := range c.Offsets {
+		switch rng.Intn(3) {
+		case 0:
+			c.Offsets[i] = rng.Intn(16)
+		case 1:
+			c.Offsets[i] = rng.Intn(512)
+		default:
+			c.Offsets[i] = rng.Intn(1 << 15)
+		}
+	}
+	return c
+}
+
+// CheckSweepPartition is the chunk-partition invariance oracle:
+// folding SweepOffsets over ANY contiguous chunking of the offsets with
+// MergeTTR must reproduce the serial sweep exactly — same Samples,
+// Failures, Sum, Max, and WorstOff tie-break — and the parallel
+// sweep.SweepOffsets must agree at any worker count. This is the
+// contract that makes every experiment report independent of chunk
+// geometry and worker scheduling.
+func CheckSweepPartition(c SweepCase) error {
+	sa, sb, _, err := c.Pair.Build()
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	want := simulator.SweepOffsets(sa, sb, c.Offsets, c.Horizon)
+	// Chunk shapes derived from the case seed so the check is a pure
+	// function of the instance.
+	shapeRNG := rand.New(rand.NewSource(c.Pair.Seed))
+	shapes := [][]int{chunkSizes(len(c.Offsets), 1), chunkSizes(len(c.Offsets), 7)}
+	random := []int{}
+	for left := len(c.Offsets); left > 0; {
+		n := 1 + shapeRNG.Intn(left)
+		random = append(random, n)
+		left -= n
+	}
+	shapes = append(shapes, random, []int{len(c.Offsets)})
+	for _, shape := range shapes {
+		var acc simulator.TTRStats
+		lo := 0
+		for _, n := range shape {
+			acc = sweep.MergeTTR(acc, simulator.SweepOffsets(sa, sb, c.Offsets[lo:lo+n], c.Horizon))
+			lo += n
+		}
+		if acc != want {
+			return fmt.Errorf("chunking %v diverged: %+v, serial %+v", shape, acc, want)
+		}
+	}
+	for _, workers := range []int{1, 2, 5} {
+		got := sweep.SweepOffsets(sweep.Runner{Workers: workers}, sa, sb, c.Offsets, c.Horizon)
+		if got != want {
+			return fmt.Errorf("workers=%d diverged: %+v, serial %+v", workers, got, want)
+		}
+	}
+	return nil
+}
+
+// chunkSizes partitions n items into uniform chunks of the given size.
+func chunkSizes(n, size int) []int {
+	var out []int
+	for ; n > size; n -= size {
+		out = append(out, size)
+	}
+	if n > 0 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ShrinkSweep greedily reduces a failing sweep case: fewer offsets
+// (halves, then single drops), a shorter horizon, then the pair
+// shrinker's own reductions.
+func ShrinkSweep(c SweepCase, fails func(SweepCase) bool) SweepCase {
+	for improved := true; improved; {
+		improved = false
+		for _, cut := range [][]int{c.Offsets[:len(c.Offsets)/2], c.Offsets[len(c.Offsets)/2:]} {
+			if len(cut) == 0 || len(cut) == len(c.Offsets) {
+				continue
+			}
+			cand := c
+			cand.Offsets = cut
+			if fails(cand) {
+				c, improved = cand, true
+				break
+			}
+		}
+		if !improved && len(c.Offsets) > 1 {
+			for i := range c.Offsets {
+				cand := c
+				cand.Offsets = append(append([]int(nil), c.Offsets[:i]...), c.Offsets[i+1:]...)
+				if fails(cand) {
+					c, improved = cand, true
+					break
+				}
+			}
+		}
+		if h := c.Horizon / 2; h >= 16 {
+			cand := c
+			cand.Horizon = h
+			if fails(cand) {
+				c, improved = cand, true
+			}
+		}
+		pair := ShrinkPair(c.Pair, func(p PairCase) bool {
+			cand := c
+			cand.Pair = p
+			return fails(cand)
+		})
+		if pair.String() != c.Pair.String() {
+			c.Pair, improved = pair, true
+		}
+	}
+	return c
+}

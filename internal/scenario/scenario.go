@@ -8,8 +8,9 @@
 // wake and leave slots, and every Environment decision are derived from
 // Seed via SplitMix64 streams (sweep.DeriveSeed), with no sequential RNG
 // state. In particular Environment.Available(ch, t) is random-access
-// pure, which is what lets the engine's pairwise decomposition
-// (RunParallelEnv) reproduce the joint simulation exactly at any worker
+// pure, which is what lets both of the engine's parallel decompositions
+// (the pairwise scan and the time-sharded joint scan behind
+// RunParallelEnv) reproduce the joint simulation exactly at any worker
 // count — the determinism invariant every experiment in this repository
 // is built on.
 package scenario
@@ -223,9 +224,11 @@ func (sc Scenario) Build(build Builder) ([]simulator.Agent, simulator.Environmen
 // agentName is the canonical fleet naming: a0, a1, … in build order.
 func agentName(a int) string { return fmt.Sprintf("a%d", a) }
 
-// Run builds the fleet and runs it on the engine's pairwise path with
-// the given worker count (≤ 0 means GOMAXPROCS). The result is
-// byte-identical at any worker count.
+// Run builds the fleet and runs it with the given worker count (≤ 0
+// means GOMAXPROCS). The engine picks its decomposition by fleet size —
+// the pairwise scan for small fleets, the time-sharded joint scan once
+// the meetable-pair count crosses over — and both are exact, so the
+// result is byte-identical at any worker count either way.
 func (sc Scenario) Run(build Builder, workers int) (*simulator.Result, []simulator.Agent, error) {
 	agents, env, err := sc.Build(build)
 	if err != nil {

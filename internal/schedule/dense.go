@@ -1,0 +1,73 @@
+package schedule
+
+// The dense-id variant of the block layer: the simulator remaps raw
+// channel values to dense ids 0 … count−1 once per engine (from the
+// union of every agent's hop set), and the hot loops then consume
+// int32 id blocks — flat occupancy indexing with no per-slot value→id
+// translation, and half the buffer bytes of []int. The raw channel
+// value is recovered from the id→value table only at the rare
+// candidate meeting.
+
+// DenseTable is one full period of a compiled schedule remapped to
+// dense int32 channel ids. Like Compiled it is immutable after
+// construction and safe for concurrent readers.
+type DenseTable struct {
+	table []int32
+}
+
+// CompileDense remaps a compiled schedule's hop table through id,
+// yielding a dense-id table. ok is false when s carries no materialized
+// hop table (CompileCap fell back to the schedule's own evaluation —
+// eventual period, period over the cap, or failed verification); such
+// schedules keep the FillBlockDense fallback path. id is applied once
+// per table slot at build time, so a schedule that violates its
+// AllChannels contract still fails loudly (the id func panics), just at
+// construction instead of mid-scan.
+func CompileDense(s Schedule, id func(ch int) int32) (d *DenseTable, ok bool) {
+	c, isCompiled := s.(*Compiled)
+	if !isCompiled {
+		return nil, false
+	}
+	out := make([]int32, len(c.table))
+	for i, ch := range c.table {
+		out[i] = id(ch)
+	}
+	return &DenseTable{table: out}, true
+}
+
+// Len returns the period covered by the table, in slots.
+func (d *DenseTable) Len() int { return len(d.table) }
+
+// FillBlock fills dst[i] with the dense id of slot start+i: a wrapped
+// copy of the period table, mirroring Compiled.ChannelBlock.
+func (d *DenseTable) FillBlock(dst []int32, start int) {
+	CheckSlot(start)
+	p := len(d.table)
+	off := start % p
+	for len(dst) > 0 {
+		n := copy(dst, d.table[off:])
+		dst = dst[n:]
+		off = 0
+	}
+}
+
+// FillBlockDense fills dst[i] = id(s.Channel(start+i)): straight copies
+// from d when the schedule has a dense table, otherwise a FillBlock into
+// scratch followed by a remap pass (scratch must hold at least len(dst)
+// ints). It is the dense counterpart of FillBlock and the single entry
+// point the simulator's dense hot loops use.
+func FillBlockDense(s Schedule, d *DenseTable, dst []int32, start int, id func(ch int) int32, scratch []int) {
+	if len(dst) == 0 {
+		return
+	}
+	CheckSlot(start)
+	if d != nil {
+		d.FillBlock(dst, start)
+		return
+	}
+	raw := scratch[:len(dst)]
+	FillBlock(s, raw, start)
+	for i, ch := range raw {
+		dst[i] = id(ch)
+	}
+}

@@ -2,6 +2,7 @@ package schedule
 
 import (
 	"fmt"
+	"sync"
 
 	"rendezvous/internal/bitstring"
 	"rendezvous/internal/pairsched"
@@ -47,13 +48,9 @@ func NewGeneral(n int, channels []int) (*General, error) {
 	if err != nil {
 		return nil, fmt.Errorf("schedule: selecting primes for k=%d: %w", k, err)
 	}
-	words := make([]bitstring.String, ramsey.PaletteSize(n))
-	for c := range words {
-		w, err := pairsched.WordForColor(c, n)
-		if err != nil {
-			return nil, err
-		}
-		words[c] = w
+	words, err := wordPalette(n)
+	if err != nil {
+		return nil, err
 	}
 	return &General{
 		n:        n,
@@ -63,6 +60,30 @@ func NewGeneral(n int, channels []int) (*General, error) {
 		wordLen:  pairsched.WordLen(n),
 		words:    words,
 	}, nil
+}
+
+// palCache caches the per-universe Ramsey word palette. The words are
+// pure functions of (color, n) and immutable once built, so every
+// General over the same universe shares one palette; rebuilding it per
+// schedule dominated NewGeneral's construction cost in sweeps that
+// measure many pairs over a handful of universes.
+var palCache sync.Map // universe n -> []bitstring.String
+
+// wordPalette returns the shared per-color word table for universe n.
+func wordPalette(n int) ([]bitstring.String, error) {
+	if v, ok := palCache.Load(n); ok {
+		return v.([]bitstring.String), nil
+	}
+	words := make([]bitstring.String, ramsey.PaletteSize(n))
+	for c := range words {
+		w, err := pairsched.WordForColor(c, n)
+		if err != nil {
+			return nil, err
+		}
+		words[c] = w
+	}
+	v, _ := palCache.LoadOrStore(n, words)
+	return v.([]bitstring.String), nil
 }
 
 // EpochLen returns the duration of one (doubled) epoch in slots: 2L.

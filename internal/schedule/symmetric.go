@@ -1,5 +1,7 @@
 package schedule
 
+import "sync"
+
 // The §3.2 reduction: any schedule Σ that guarantees rendezvous for all
 // pairs of sets can be transformed into one that additionally guarantees
 // O(1) rendezvous for identical sets, at a 12× cost for everyone else.
@@ -49,13 +51,21 @@ func (s *Symmetric) Channel(t int) int {
 	return s.inner.Channel(t / SymmetricBlockLen)
 }
 
+// innerBufPool recycles the wrapper's inner-slot buffers: handing a
+// stack array to FillBlock's interface call forces it to the heap, and
+// the joint engine calls ChannelBlock once per agent per block — tens
+// of thousands of times per fleet run.
+var innerBufPool = sync.Pool{New: func() any { return new([32]int) }}
+
 // ChannelBlock implements BlockEvaluator: the inner schedule is
 // evaluated in blocks of its own (one inner slot per 12 outer slots)
 // and each inner channel is expanded through the §3.2 pattern, so the
 // wrapper adds no per-slot inner calls.
 func (s *Symmetric) ChannelBlock(dst []int, start int) {
 	CheckSlot(start)
-	var ibuf [32]int
+	bp := innerBufPool.Get().(*[32]int)
+	defer innerBufPool.Put(bp)
+	ibuf := bp[:]
 	for filled := 0; filled < len(dst); {
 		t := start + filled
 		innerStart := t / SymmetricBlockLen

@@ -1,0 +1,227 @@
+package simulator
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Time-sharded joint engine.
+//
+// First rendezvous is a per-pair *minimum over time*: the earliest slot
+// at which the pair co-hops an available channel. Minima decompose over
+// any partition of the time axis, and every input to a slot's outcome —
+// schedules, activity windows, Environment decisions — is a pure
+// function of the slot. So the joint occupancy scan parallelizes by
+// time: partition [0, horizon) into contiguous windows, scan each
+// window independently into a private per-pair first-hit array, and
+// take the per-pair minimum across windows. The decomposition is exact,
+// which makes the Result byte-identical to Run at any worker count.
+//
+// Windows are dispatched in increasing time order, which preserves most
+// of the serial engine's early-exit win: once every meetable pair has a
+// recorded hit, every not-yet-started window lies strictly later than
+// every window that produced those hits, so any meeting it could find
+// would be at a later slot than an existing hit for its pair — skipping
+// it cannot change any per-pair minimum. In-flight windows always run
+// to completion (one of them may still hold a pair's true first
+// meeting), so cancellation affects wall-clock only, never the Result.
+
+// hit32 is one worker's first observed meeting for a pair: s is the
+// global slot + 1 (0 = no hit in this worker's windows) and ch the
+// dense channel id. 8 bytes keeps the per-worker arrays compact at
+// network scale (a 1024-agent fleet has ~524k pairs).
+type hit32 struct {
+	s, ch int32
+}
+
+// jointWindow picks the shard width for a horizon/worker pair: about
+// four windows per worker for load balance, in whole blocks so the
+// shard scans align with the block evaluators.
+func jointWindow(horizon, workers int) int {
+	win := (horizon + 4*workers - 1) / (4 * workers)
+	win = (win + blockLen - 1) / blockLen * blockLen
+	if win < blockLen {
+		win = blockLen
+	}
+	return win
+}
+
+// RunJointParallel computes the same Result as Run by sharding the
+// joint occupancy scan over contiguous time windows executed by a
+// bounded worker pool (workers ≤ 0 means GOMAXPROCS). Results are
+// byte-identical to Run at any worker count; see the package comment
+// above for why the decomposition is exact.
+func (e *Engine) RunJointParallel(horizon, workers int) *Result {
+	return e.RunJointParallelEnv(horizon, workers, nil)
+}
+
+// RunJointParallelEnv is RunJointParallel under an optional
+// Environment; see RunEnv for the availability semantics.
+func (e *Engine) RunJointParallelEnv(horizon, workers int, env Environment) *Result {
+	return e.runJointParallelEnv(horizon, workers, env, e.meetablePairs(horizon))
+}
+
+// runJointParallelEnv is the shared body; meetable is the caller's
+// meetablePairs(horizon) count, so routing callers that already
+// counted (RunParallelEnv's crossover test) never scan the pair space
+// twice.
+func (e *Engine) runJointParallelEnv(horizon, workers int, env Environment, meetable int) *Result {
+	res := newResult(horizon, e.names, e.byName, e.rowBase)
+	if horizon <= 0 {
+		return res
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	window := jointWindow(horizon, workers)
+	if workers > (horizon+window-1)/window {
+		workers = (horizon + window - 1) / window
+	}
+	// Degenerate shapes (one worker, one window, per-slot reference
+	// mode, or a horizon whose slots overflow the int32 hit encoding)
+	// take the serial joint path, which is the same computation.
+	if workers <= 1 || horizon >= math.MaxInt32 || !blockEval.Load() {
+		if blockEval.Load() {
+			e.runBlock(res, horizon, env, meetable)
+		} else {
+			e.runSlots(res, horizon, env, meetable)
+		}
+		return res
+	}
+	e.runJointSharded(res, horizon, workers, window, env, meetable)
+	return res
+}
+
+// getHits returns a zeroed per-pair hit array of length pairs from the
+// engine's pool.
+func (e *Engine) getHits(pairs int) []hit32 {
+	hp, _ := e.hitPool.Get().(*[]hit32)
+	if hp == nil || cap(*hp) < pairs {
+		h := make([]hit32, pairs)
+		return h
+	}
+	h := (*hp)[:pairs]
+	clear(h)
+	return h
+}
+
+// runJointSharded is the sharded scan proper. window must be a positive
+// multiple of blockLen; it and the meetable count are parameters
+// (rather than derived here) so tests can pin partition invariance
+// directly.
+func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env Environment, meetableCount int) {
+	n := len(e.agents)
+	pairs := n * (n - 1) / 2
+	meetable := int64(meetableCount)
+	if meetable == 0 {
+		return
+	}
+	plan := e.planFor(horizon)
+	defer e.planPool.Put(plan)
+	windows := (horizon + window - 1) / window
+	if workers > windows {
+		workers = windows
+	}
+	// seen is the shared pair-has-a-hit-somewhere bitset driving
+	// ordered-window cancellation; seenCount trips done when the last
+	// meetable pair gets its first hit. Neither influences the Result —
+	// the merge below recomputes exact minima from the per-worker
+	// arrays.
+	seen := make([]uint64, (pairs+63)/64)
+	var seenCount atomic.Int64
+	var done atomic.Bool
+	var nextWin atomic.Int64
+	perWorker := make([][]hit32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := e.getJointScratch()
+			defer e.jointPool.Put(sc)
+			hits := e.getHits(pairs)
+			perWorker[w] = hits
+			for !done.Load() {
+				wi := int(nextWin.Add(1)) - 1
+				if wi >= windows {
+					return
+				}
+				lo := wi * window
+				e.scanShard(plan, sc, hits, lo, min(lo+window, horizon), env, seen, &seenCount, &done, meetable)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Serial merge: the per-pair minimum slot across workers. Each
+	// worker processed its windows in increasing time order and kept
+	// only its first hit per pair, so the minimum over workers is the
+	// global first meeting.
+	p := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if seen[p>>6]&(1<<(p&63)) != 0 {
+				best := hit32{}
+				for w := range perWorker {
+					if h := perWorker[w][p]; h.s != 0 && (best.s == 0 || h.s < best.s) {
+						best = h
+					}
+				}
+				res.record(i, j, int(best.s)-1, e.union[best.ch], max(e.agents[i].Wake, e.agents[j].Wake))
+			}
+			p++
+		}
+	}
+	for w := range perWorker {
+		h := perWorker[w]
+		e.hitPool.Put(&h)
+	}
+}
+
+// scanShard runs the dense-id occupancy scan over global slots
+// [lo, hi), recording each pair's first hit within this worker's
+// windows into hits and feeding the shared cancellation state.
+func (e *Engine) scanShard(plan *runPlan, sc *jointScratch, hits []hit32, lo, hi int, env Environment,
+	seen []uint64, seenCount *atomic.Int64, done *atomic.Bool, meetable int64) {
+	for base := lo; base < hi; base += blockLen {
+		m := min(blockLen, hi-base)
+		e.fillBlockWindow(plan, sc, base, m)
+		for off := 0; off < m; off++ {
+			t := base + off
+			for i := range e.agents {
+				if !e.agents[i].active(t) {
+					continue
+				}
+				d := sc.bufs[i][off]
+				prev := sc.occ.add(int(d), t+1, i)
+				if len(prev) == 0 {
+					continue
+				}
+				avail := env == nil // env consulted once per candidate channel-slot, lazily
+				checked := env == nil
+				for _, o := range prev {
+					// Agents are visited in ascending id order within a slot,
+					// so o < i and the triangular index needs no swap.
+					p := e.rowBase[o] + i - o - 1
+					if hits[p].s != 0 {
+						continue
+					}
+					if !checked {
+						avail = env.Available(e.union[d], t)
+						checked = true
+					}
+					if !avail {
+						break
+					}
+					hits[p] = hit32{s: int32(t) + 1, ch: d}
+					if old := atomic.OrUint64(&seen[p>>6], 1<<(p&63)); old&(1<<(p&63)) == 0 {
+						if seenCount.Add(1) == meetable {
+							done.Store(true)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package simulator
+
+import (
+	"math/rand"
+	"testing"
+
+	"rendezvous/internal/schedule"
+)
+
+// jointTestFleet draws a randomized fleet over the repository's
+// schedule families with staggered wakes and churn, sized so runs stay
+// cheap while still producing multi-window scans.
+func jointTestFleet(t *testing.T, rng *rand.Rand, agents int) []Agent {
+	t.Helper()
+	const n = 12
+	fleet := make([]Agent, agents)
+	for i := range fleet {
+		w := RandomOverlappingPair(rng, n, 1+rng.Intn(3), 1+rng.Intn(3))
+		a := Agent{
+			Name:  "a" + string(rune('0'+i/10)) + string(rune('0'+i%10)),
+			Sched: mixedSchedule(t, rng, n, w.A),
+			Wake:  rng.Intn(600),
+		}
+		if rng.Intn(3) == 0 {
+			a.Leave = a.Wake + 1 + rng.Intn(1500)
+		}
+		fleet[i] = a
+	}
+	return fleet
+}
+
+// TestJointShardedPartitionInvariance pins the sharded scan's defining
+// property directly: for any window width (any partition of the time
+// axis into contiguous shards) and any worker count, runJointSharded
+// reproduces the serial joint engine meeting for meeting.
+func TestJointShardedPartitionInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 6; trial++ {
+		fleet := jointTestFleet(t, rng, 5+rng.Intn(5))
+		eng, err := NewEngine(fleet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := 700 + rng.Intn(2400)
+		var env Environment
+		if trial%2 == 1 {
+			env = evenSlotsBlocked{}
+		}
+		want := renderMeetings(eng.RunEnv(horizon, env))
+		for _, workers := range []int{2, 3, 8} {
+			for _, window := range []int{blockLen, 3 * blockLen, 16 * blockLen} {
+				res := newResult(horizon, eng.names, eng.byName, eng.rowBase)
+				eng.runJointSharded(res, horizon, workers, window, env, eng.meetablePairs(horizon))
+				if got := renderMeetings(res); got != want {
+					t.Fatalf("trial %d workers=%d window=%d diverged:\n got %s\nwant %s",
+						trial, workers, window, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunJointParallelMatchesRun drives the public entry points across
+// worker counts, environments, and both evaluation modes.
+func TestRunJointParallelMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	fleet := jointTestFleet(t, rng, 9)
+	eng, err := NewEngine(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 3000
+	for _, env := range []Environment{nil, evenSlotsBlocked{}, channelBlocked(3)} {
+		want := renderMeetings(eng.RunEnv(horizon, env))
+		for _, workers := range []int{0, 1, 2, 5, 16} {
+			if got := renderMeetings(eng.RunJointParallelEnv(horizon, workers, env)); got != want {
+				t.Fatalf("env=%v workers=%d: got %s want %s", env, workers, got, want)
+			}
+		}
+		prev := SetBlockEval(false)
+		got := renderMeetings(eng.RunJointParallelEnv(horizon, 4, env))
+		SetBlockEval(prev)
+		if got != want {
+			t.Fatalf("env=%v slots-mode fallback diverged: got %s want %s", env, got, want)
+		}
+	}
+	if got := renderMeetings(eng.RunJointParallel(horizon, 3)); got != renderMeetings(eng.Run(horizon)) {
+		t.Fatalf("RunJointParallel diverged from Run: %s", got)
+	}
+}
+
+// TestRunJointParallelDegenerate covers the edges: zero/short horizons,
+// fleets with nothing meetable, and repeated runs on one engine (the
+// scratch pools must not leak state between runs).
+func TestRunJointParallelDegenerate(t *testing.T) {
+	a := mustCyclic(t, []int{1, 2})
+	b := mustCyclic(t, []int{2, 1})
+	c := mustCyclic(t, []int{5})
+	eng, err := NewEngine([]Agent{
+		{Name: "a", Sched: a}, {Name: "b", Sched: b}, {Name: "c", Sched: c, Wake: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.RunJointParallel(0, 4); got.MetCount() != 0 {
+		t.Fatalf("zero horizon recorded meetings: %d", got.MetCount())
+	}
+	for run := 0; run < 4; run++ {
+		for _, h := range []int{1, blockLen - 1, blockLen + 1, 2000} {
+			want := renderMeetings(eng.Run(h))
+			if got := renderMeetings(eng.RunJointParallel(h, 4)); got != want {
+				t.Fatalf("run %d horizon %d: got %s want %s", run, h, got, want)
+			}
+		}
+	}
+	// A fleet whose only pairs are disjoint: nothing meetable at all.
+	lone, err := NewEngine([]Agent{
+		{Name: "x", Sched: mustCyclic(t, []int{1})},
+		{Name: "y", Sched: mustCyclic(t, []int{2})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lone.RunJointParallel(500, 4); got.MetCount() != 0 {
+		t.Fatalf("disjoint fleet met: %d", got.MetCount())
+	}
+}
+
+// TestRunParallelJointCrossover exercises RunParallelEnv's routing to
+// the sharded joint engine: a fleet large enough to exceed
+// jointPairCrossover must still reproduce the serial joint result
+// exactly (the crossover is a performance choice, never a semantic
+// one).
+func TestRunParallelJointCrossover(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const agents = 240 // ~28k pairs, well past jointPairCrossover even after disjoint-set pruning
+	fleet := make([]Agent, agents)
+	for i := range fleet {
+		seq := []int{1 + rng.Intn(6), 1 + rng.Intn(6), 1 + rng.Intn(6)}
+		fleet[i] = Agent{
+			Name:  "n" + string(rune('0'+i/100)) + string(rune('0'+i/10%10)) + string(rune('0'+i%10)),
+			Sched: mustCyclic(t, seq),
+			Wake:  rng.Intn(64),
+		}
+	}
+	eng, err := NewEngine(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := eng.meetablePairs(256); n <= jointPairCrossover {
+		t.Fatalf("fleet too small to cross over: %d pairs", n)
+	}
+	want := renderMeetings(eng.RunEnv(256, evenSlotsBlocked{}))
+	for _, workers := range []int{1, 4} {
+		if got := renderMeetings(eng.RunParallelEnv(256, workers, evenSlotsBlocked{})); got != want {
+			t.Fatalf("workers=%d: crossover path diverged from serial joint run", workers)
+		}
+	}
+}
+
+// TestCompileDense pins the dense remap layer: a compiled schedule's
+// dense table must reproduce id(Channel(t)) for every slot, including
+// wrapped reads across the period boundary, and FillBlockDense must
+// fall back to remap-per-block for schedules without a table.
+func TestCompileDense(t *testing.T) {
+	s := mustCyclic(t, []int{4, 9, 4, 2, 7})
+	id := func(ch int) int32 { return int32(ch * 3) }
+	c := schedule.Compile(s)
+	d, ok := schedule.CompileDense(c, id)
+	if !ok {
+		t.Fatal("compiled schedule has no dense table")
+	}
+	if d.Len() != s.Period() {
+		t.Fatalf("dense table length %d, want period %d", d.Len(), s.Period())
+	}
+	scratch := make([]int, 64)
+	for _, start := range []int{0, 3, 4, 5, 13, 257} {
+		var fromTable, fromFallback [64]int32
+		schedule.FillBlockDense(c, d, fromTable[:], start, id, scratch)
+		schedule.FillBlockDense(s, nil, fromFallback[:], start, id, scratch)
+		for x := range fromTable {
+			want := id(s.Channel(start + x))
+			if fromTable[x] != want || fromFallback[x] != want {
+				t.Fatalf("start %d slot %d: table %d fallback %d want %d",
+					start, x, fromTable[x], fromFallback[x], want)
+			}
+		}
+	}
+	if _, ok := schedule.CompileDense(s, id); ok {
+		t.Fatal("CompileDense accepted an uncompiled schedule")
+	}
+}

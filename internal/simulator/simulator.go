@@ -184,6 +184,19 @@ func (r *Result) Meeting(a, b string) (Meeting, bool) {
 // materializing them.
 func (r *Result) MetCount() int { return r.metCount }
 
+// meetingLess is the canonical meeting order — by slot, then agent
+// names — shared by Meetings and any future sorted view, so the order
+// is defined in exactly one place.
+func meetingLess(a, b Meeting) bool {
+	if a.Slot != b.Slot {
+		return a.Slot < b.Slot
+	}
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}
+
 // Meetings returns all recorded meetings sorted by slot.
 func (r *Result) Meetings() []Meeting {
 	out := make([]Meeting, 0, r.metCount)
@@ -195,15 +208,7 @@ func (r *Result) Meetings() []Meeting {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Slot != out[j].Slot {
-			return out[i].Slot < out[j].Slot
-		}
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
+	sort.Slice(out, func(i, j int) bool { return meetingLess(out[i], out[j]) })
 	return out
 }
 
@@ -332,12 +337,24 @@ type Engine struct {
 	rowBase []int          // triangular row offsets for pair indexing
 	hopSets [][]int        // per-agent complete hop set, sorted
 	chIdx   chanIndex
+	union   []int // dense channel id -> raw value (sorted hop-set union)
 
 	// compiled caches per-agent hop tables (schedule.Compile) built
 	// lazily once a run's horizon justifies the one-time unroll cost;
-	// mu guards it so concurrent runs stay safe.
+	// dense caches their int32 dense-id remaps for the joint scans.
+	// mu guards both so concurrent runs stay safe.
 	mu       sync.Mutex
 	compiled []schedule.Schedule
+	dense    []*schedule.DenseTable
+
+	// Scratch pools recycle the per-run working state (occupancy index,
+	// block buffers, pairwise found arrays) across runs: the sweeps that
+	// drive experiments call Run/RunParallel in tight loops, and this
+	// bookkeeping dominated their allocation profile.
+	planPool  sync.Pool // *runPlan
+	jointPool sync.Pool // *jointScratch
+	pairPool  sync.Pool // *pairScratch
+	hitPool   sync.Pool // *[]hit32
 }
 
 // NewEngine validates the agents (unique non-empty names, non-negative
@@ -386,23 +403,68 @@ func NewEngine(agents []Agent) (*Engine, error) {
 		rowBase:  rowBase,
 		hopSets:  hopSets,
 		chIdx:    newChanIndex(union),
+		union:    union,
 		compiled: make([]schedule.Schedule, n),
+		dense:    make([]*schedule.DenseTable, n),
 	}, nil
 }
 
-// unionSorted merges ascending-sorted sets into their sorted union.
+// unionSorted merges ascending-sorted sets (allChannels guarantees the
+// ordering) into their sorted distinct union by a k-way merge over a
+// min-heap of set cursors: O(total·log k) with no per-element map
+// operations, where the previous map-based merge hashed every element
+// of every set.
 func unionSorted(sets [][]int) []int {
-	seen := make(map[int]bool)
-	var out []int
-	for _, s := range sets {
-		for _, c := range s {
-			if !seen[c] {
-				seen[c] = true
-				out = append(out, c)
+	type cursor struct{ set, pos int }
+	head := func(c cursor) int { return sets[c.set][c.pos] }
+	h := make([]cursor, 0, len(sets))
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if head(h[p]) <= head(h[i]) {
+				return
 			}
+			h[p], h[i] = h[i], h[p]
+			i = p
 		}
 	}
-	sort.Ints(out)
+	siftDown := func() {
+		i := 0
+		for {
+			m := i
+			if l := 2*i + 1; l < len(h) && head(h[l]) < head(h[m]) {
+				m = l
+			}
+			if r := 2*i + 2; r < len(h) && head(h[r]) < head(h[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for s := range sets {
+		if len(sets[s]) > 0 {
+			h = append(h, cursor{set: s})
+			siftUp(len(h) - 1)
+		}
+	}
+	var out []int
+	for len(h) > 0 {
+		v := head(h[0])
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+		if c := h[0]; c.pos+1 < len(sets[c.set]) {
+			h[0].pos++
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown()
+	}
 	return out
 }
 
@@ -416,6 +478,10 @@ func unionSorted(sets [][]int) []int {
 func (e *Engine) schedFor(i, horizon int) schedule.Schedule {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.schedForLocked(i, horizon)
+}
+
+func (e *Engine) schedForLocked(i, horizon int) schedule.Schedule {
 	if c := e.compiled[i]; c != nil {
 		return c
 	}
@@ -425,6 +491,43 @@ func (e *Engine) schedFor(i, horizon int) schedule.Schedule {
 		return e.compiled[i]
 	}
 	return s
+}
+
+// id32 adapts chanIndex.id to the schedule package's dense remap
+// signature.
+func (e *Engine) id32(ch int) int32 { return int32(e.chIdx.id(ch)) }
+
+// runPlan is the per-run snapshot of each agent's evaluation artifacts:
+// the schedule to evaluate (compiled when worthwhile) and its dense-id
+// hop table (nil for schedules without a materialized table, which take
+// the remap-per-block fallback). Shared read-only by every worker of a
+// run and recycled through planPool.
+type runPlan struct {
+	scheds []schedule.Schedule
+	dense  []*schedule.DenseTable
+}
+
+// planFor builds the run plan for the given horizon, caching compiled
+// and dense tables on the engine under mu.
+func (e *Engine) planFor(horizon int) *runPlan {
+	p, _ := e.planPool.Get().(*runPlan)
+	if p == nil {
+		n := len(e.agents)
+		p = &runPlan{scheds: make([]schedule.Schedule, n), dense: make([]*schedule.DenseTable, n)}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.agents {
+		s := e.schedForLocked(i, horizon)
+		p.scheds[i] = s
+		if e.dense[i] == nil {
+			if d, ok := schedule.CompileDense(s, e.id32); ok {
+				e.dense[i] = d
+			}
+		}
+		p.dense[i] = e.dense[i]
+	}
+	return p
 }
 
 // meetablePairs counts pairs that could ever meet within horizon: hop
@@ -459,10 +562,11 @@ func (e *Engine) Run(horizon int) *Result { return e.RunEnv(horizon, nil) }
 // channels are always available (identical to Run).
 func (e *Engine) RunEnv(horizon int, env Environment) *Result {
 	res := newResult(horizon, e.names, e.byName, e.rowBase)
+	meetable := e.meetablePairs(horizon)
 	if blockEval.Load() {
-		e.runBlock(res, horizon, env)
+		e.runBlock(res, horizon, env, meetable)
 	} else {
-		e.runSlots(res, horizon, env)
+		e.runSlots(res, horizon, env, meetable)
 	}
 	return res
 }
@@ -477,6 +581,14 @@ type occupancy struct {
 
 func newOccupancy(channels int) *occupancy {
 	return &occupancy{stamp: make([]int, channels), occ: make([][]int, channels)}
+}
+
+// reset clears the stamps so the index can be reused by a later run
+// (whose slot keys would otherwise collide with stale entries).
+func (o *occupancy) reset() {
+	for i := range o.stamp {
+		o.stamp[i] = 0
+	}
 }
 
 // add registers agent i on dense channel d at slot key tk (t+1) and
@@ -504,47 +616,80 @@ func (e *Engine) meet(res *Result, env Environment, prev []int, i, ch, t int) {
 	}
 }
 
-// runBlock is the joint simulation consuming per-agent channel blocks:
-// every agent's next blockLen slots are materialized in one FillBlock
-// call, then the occupancy scan reads plain buffers.
-func (e *Engine) runBlock(res *Result, horizon int, env Environment) {
-	n := len(e.agents)
-	meetable := e.meetablePairs(horizon)
-	scheds := make([]schedule.Schedule, n)
-	for i := range e.agents {
-		scheds[i] = e.schedFor(i, horizon)
+// jointScratch is one joint-scan worker's private working state: the
+// occupancy index, the per-agent dense-id block buffers (int32 — half
+// the bytes of the former []int buffers), and the raw-channel scratch
+// for schedules without a dense table. Recycled through jointPool.
+type jointScratch struct {
+	occ  *occupancy
+	flat []int32   // backing store, n*blockLen
+	bufs [][]int32 // per-agent views into flat
+	raw  []int     // FillBlockDense fallback scratch, blockLen
+}
+
+func (e *Engine) getJointScratch() *jointScratch {
+	sc, _ := e.jointPool.Get().(*jointScratch)
+	if sc == nil {
+		n := len(e.agents)
+		sc = &jointScratch{
+			occ:  newOccupancy(e.chIdx.count),
+			flat: make([]int32, n*blockLen),
+			bufs: make([][]int32, n),
+			raw:  make([]int, blockLen),
+		}
+		for i := range sc.bufs {
+			sc.bufs[i] = sc.flat[i*blockLen : (i+1)*blockLen]
+		}
+		return sc
 	}
-	flat := make([]int, n*blockLen)
-	bufs := make([][]int, n)
-	for i := range bufs {
-		bufs[i] = flat[i*blockLen : (i+1)*blockLen]
+	sc.occ.reset()
+	return sc
+}
+
+// fillBlockWindow materializes every active agent's dense-id channels
+// for global slots [base, base+m) into sc.bufs, clamped to each agent's
+// activity window exactly as the scan below will read them.
+func (e *Engine) fillBlockWindow(p *runPlan, sc *jointScratch, base, m int) {
+	for i, a := range e.agents {
+		if a.Wake >= base+m || (a.Leave > 0 && a.Leave <= base) {
+			continue // outside its activity window for the whole block
+		}
+		from := max(0, a.Wake-base)
+		to := m
+		if a.Leave > 0 && a.Leave < base+m {
+			to = a.Leave - base
+		}
+		schedule.FillBlockDense(p.scheds[i], p.dense[i], sc.bufs[i][from:to], base+from-a.Wake, e.id32, sc.raw)
 	}
-	occ := newOccupancy(e.chIdx.count)
+}
+
+// runBlock is the joint simulation consuming per-agent dense-id channel
+// blocks: every agent's next blockLen slots are materialized in one
+// FillBlockDense call, then the occupancy scan indexes flat slices by
+// dense id directly — no per-slot value→id translation — and recovers
+// the raw channel value from the id→value table only at candidate
+// meetings. meetable is the caller's meetablePairs(horizon) count (the
+// O(n²) scan is done once per run, whichever path consumes it).
+func (e *Engine) runBlock(res *Result, horizon int, env Environment, meetable int) {
+	p := e.planFor(horizon)
+	defer e.planPool.Put(p)
+	sc := e.getJointScratch()
+	defer e.jointPool.Put(sc)
 	for base := 0; base < horizon; base += blockLen {
 		if res.metCount == meetable {
 			return // every meetable pair recorded; later slots cannot change the result
 		}
 		m := min(blockLen, horizon-base)
-		for i, a := range e.agents {
-			if a.Wake >= base+m || (a.Leave > 0 && a.Leave <= base) {
-				continue // outside its activity window for the whole block
-			}
-			from := max(0, a.Wake-base)
-			to := m
-			if a.Leave > 0 && a.Leave < base+m {
-				to = a.Leave - base
-			}
-			schedule.FillBlock(scheds[i], bufs[i][from:to], base+from-a.Wake)
-		}
+		e.fillBlockWindow(p, sc, base, m)
 		for off := 0; off < m; off++ {
 			t := base + off
 			for i := range e.agents {
 				if !e.agents[i].active(t) {
 					continue
 				}
-				ch := bufs[i][off]
-				if prev := occ.add(e.chIdx.id(ch), t+1, i); len(prev) > 0 {
-					e.meet(res, env, prev, i, ch, t)
+				d := sc.bufs[i][off]
+				if prev := sc.occ.add(int(d), t+1, i); len(prev) > 0 {
+					e.meet(res, env, prev, i, e.union[d], t)
 				}
 			}
 		}
@@ -557,8 +702,7 @@ func (e *Engine) runBlock(res *Result, horizon int, env Environment) {
 // the point of this path is to be the regression oracle for the block
 // and compile layers, so it must exercise each schedule's own
 // implementation, not the machinery under test.
-func (e *Engine) runSlots(res *Result, horizon int, env Environment) {
-	meetable := e.meetablePairs(horizon)
+func (e *Engine) runSlots(res *Result, horizon int, env Environment, meetable int) {
 	occ := newOccupancy(e.chIdx.count)
 	for t := 0; t < horizon; t++ {
 		if res.metCount == meetable {
@@ -592,26 +736,71 @@ func (e *Engine) RunParallel(horizon, workers int) *Result {
 	return e.RunParallelEnv(horizon, workers, nil)
 }
 
+// jointPairCrossover is the meetable-pair count above which
+// RunParallelEnv switches from the pairwise decomposition to the
+// time-sharded joint engine. Below it the pairwise scan wins: each pair
+// stops at its own first meeting, and the quadratic pair space is small
+// enough that scanning it independently beats a joint occupancy pass.
+// Above it the joint engine wins decisively — its work is O(agents) per
+// slot instead of O(pairs), and pairs that never meet (hostile
+// environments) no longer each burn a full-horizon scan. Both paths
+// produce byte-identical Results, so the crossover is purely a
+// performance choice.
+const jointPairCrossover = 1 << 14
+
+// pairScratch recycles the pairwise decomposition's working state
+// (meetable-pair list and found array) across runs.
+type pairScratch struct {
+	pairs []pairRef
+	found []pairHit
+}
+
+type pairRef struct{ i, j int }
+
+// pairHit is pair p's first meeting: slot, channel, and whether one
+// occurred.
+type pairHit struct {
+	slot, ch int
+	ok       bool
+}
+
+// pairBufPool recycles the per-worker pairwise block-buffer pairs (also
+// used by PairTTR's block scan, whose buffers would otherwise escape to
+// the heap on every call).
+var pairBufPool = sync.Pool{New: func() any { return new([2 * blockLen]int) }}
+
 // RunParallelEnv is RunParallel under an optional Environment; see
-// RunEnv for the availability semantics.
+// RunEnv for the availability semantics. Large fleets (more than
+// jointPairCrossover meetable pairs) are routed through the
+// time-sharded joint engine, which computes the identical Result.
 func (e *Engine) RunParallelEnv(horizon, workers int, env Environment) *Result {
-	type pairIdx struct{ i, j int }
-	var pairs []pairIdx
+	useBlocks := blockEval.Load()
+	if useBlocks {
+		// Count before materializing the pair list: on the joint path the
+		// quadratic list is never needed, and the count threads through so
+		// the scan happens exactly once per run.
+		if meetable := e.meetablePairs(horizon); meetable > jointPairCrossover {
+			return e.runJointParallelEnv(horizon, workers, env, meetable)
+		}
+	}
+	sc, _ := e.pairPool.Get().(*pairScratch)
+	if sc == nil {
+		sc = &pairScratch{}
+	}
+	defer e.pairPool.Put(sc)
+	sc.pairs = sc.pairs[:0]
 	for i := range e.agents {
 		for j := i + 1; j < len(e.agents); j++ {
 			if e.pairMeetable(i, j, horizon) {
-				pairs = append(pairs, pairIdx{i, j})
+				sc.pairs = append(sc.pairs, pairRef{i, j})
 			}
 		}
 	}
-	useBlocks := blockEval.Load()
-	scheds := make([]schedule.Schedule, len(e.agents))
-	for i := range e.agents {
-		if useBlocks {
-			scheds[i] = e.schedFor(i, horizon)
-		} else {
-			scheds[i] = e.agents[i].Sched
-		}
+	pairs := sc.pairs
+	var plan *runPlan
+	if useBlocks {
+		plan = e.planFor(horizon)
+		defer e.planPool.Put(plan)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -619,14 +808,16 @@ func (e *Engine) RunParallelEnv(horizon, workers int, env Environment) *Result {
 	if workers > len(pairs) {
 		workers = len(pairs)
 	}
-	// found[p] is pair p's first meeting: slot, channel, and whether one
-	// occurred. Workers write disjoint elements, so no locking is needed;
-	// the serial fill below folds them into the triangular Result.
-	type hit struct {
-		slot, ch int
-		ok       bool
+	// found[p] is pair p's first meeting. Workers write disjoint
+	// elements, so no locking is needed; the serial fill below folds
+	// them into the triangular Result.
+	if cap(sc.found) < len(pairs) {
+		sc.found = make([]pairHit, len(pairs))
 	}
-	found := make([]hit, len(pairs))
+	found := sc.found[:len(pairs)]
+	for p := range found {
+		found[p] = pairHit{}
+	}
 	// scan locates pair p's first meeting; bufA/bufB are the worker's
 	// reusable block buffers.
 	scan := func(p int, bufA, bufB []int) {
@@ -634,14 +825,14 @@ func (e *Engine) RunParallelEnv(horizon, workers int, env Environment) *Result {
 		start := max(a.Wake, b.Wake)
 		end := min(a.end(horizon), b.end(horizon))
 		if useBlocks {
-			sa, sb := scheds[pairs[p].i], scheds[pairs[p].j]
+			sa, sb := plan.scheds[pairs[p].i], plan.scheds[pairs[p].j]
 			for base := start; base < end; base += blockLen {
 				m := min(blockLen, end-base)
 				schedule.FillBlock(sa, bufA[:m], base-a.Wake)
 				schedule.FillBlock(sb, bufB[:m], base-b.Wake)
 				for x := 0; x < m; x++ {
 					if bufA[x] == bufB[x] && (env == nil || env.Available(bufA[x], base+x)) {
-						found[p] = hit{slot: base + x, ch: bufA[x], ok: true}
+						found[p] = pairHit{slot: base + x, ch: bufA[x], ok: true}
 						return
 					}
 				}
@@ -651,16 +842,17 @@ func (e *Engine) RunParallelEnv(horizon, workers int, env Environment) *Result {
 		for t := start; t < end; t++ {
 			ca := a.Sched.Channel(t - a.Wake)
 			if ca == b.Sched.Channel(t-b.Wake) && (env == nil || env.Available(ca, t)) {
-				found[p] = hit{slot: t, ch: ca, ok: true}
+				found[p] = pairHit{slot: t, ch: ca, ok: true}
 				return
 			}
 		}
 	}
 	if workers <= 1 {
-		bufA, bufB := make([]int, blockLen), make([]int, blockLen)
+		buf := pairBufPool.Get().(*[2 * blockLen]int)
 		for p := range pairs {
-			scan(p, bufA, bufB)
+			scan(p, buf[:blockLen], buf[blockLen:])
 		}
+		pairBufPool.Put(buf)
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
@@ -668,13 +860,14 @@ func (e *Engine) RunParallelEnv(horizon, workers int, env Environment) *Result {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				bufA, bufB := make([]int, blockLen), make([]int, blockLen)
+				buf := pairBufPool.Get().(*[2 * blockLen]int)
+				defer pairBufPool.Put(buf)
 				for {
 					p := int(next.Add(1)) - 1
 					if p >= len(pairs) {
 						return
 					}
-					scan(p, bufA, bufB)
+					scan(p, buf[:blockLen], buf[blockLen:])
 				}
 			}()
 		}
@@ -702,14 +895,18 @@ func PairTTR(a, b schedule.Schedule, wakeA, wakeB, horizon int) (ttr int, ok boo
 }
 
 // pairTTRBlock is the block-evaluated scan: both schedules emit
-// blockLen-slot chunks into stack buffers and the comparison loop runs
-// over plain ints.
+// blockLen-slot chunks into pooled buffers (passing them through the
+// FillBlock interface forces them to the heap, so stack arrays here
+// cost two allocations per call — measurable across offset sweeps) and
+// the comparison loop runs over plain ints.
 func pairTTRBlock(a, b schedule.Schedule, wakeA, wakeB, horizon int) (ttr int, ok bool) {
 	start := wakeA
 	if wakeB > start {
 		start = wakeB
 	}
-	var bufA, bufB [blockLen]int
+	buf := pairBufPool.Get().(*[2 * blockLen]int)
+	defer pairBufPool.Put(buf)
+	bufA, bufB := buf[:blockLen], buf[blockLen:]
 	for s := 0; s < horizon; s += blockLen {
 		m := min(blockLen, horizon-s)
 		schedule.FillBlock(a, bufA[:m], start+s-wakeA)

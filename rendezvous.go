@@ -83,8 +83,10 @@ type Result = simulator.Result
 
 // Engine is the slot-synchronous multi-agent simulator. Run performs
 // the serial joint simulation; RunParallel produces the identical
-// Result via an exact pairwise decomposition on a worker pool. RunEnv
-// and RunParallelEnv are the same runs under an Environment.
+// Result on a worker pool via an exact decomposition — pairwise scans
+// for small fleets, a time-sharded joint scan (RunJointParallel) once
+// the meetable-pair count is large. RunEnv and RunParallelEnv are the
+// same runs under an Environment.
 type Engine = simulator.Engine
 
 // Environment models external spectrum dynamics (primary users, jammer
