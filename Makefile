@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-examples fmt-check vet test race bench bench-smoke ci \
+.PHONY: build build-examples fmt-check vet lint test race bench bench-smoke ci \
 	fuzz-smoke cover golden bench-json bench-json-smoke bench-compare \
 	bench-compare-smoke
 
@@ -20,6 +20,19 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet: staticcheck (bug patterns and
+# simplifications) and govulncheck (known-vulnerable symbols reachable
+# from this module). The CI lint job always installs both; a local run
+# skips a tool that is not on PATH rather than failing, so `make lint`
+# stays useful on a fresh checkout:
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+#   go install golang.org/x/vuln/cmd/govulncheck@latest
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
 
 test:
 	$(GO) test ./...
@@ -65,19 +78,31 @@ bench-json-smoke:
 BENCH_BASE ?= $(shell git ls-tree --name-only HEAD -- 'BENCH_*.json' | sort | tail -1)
 BENCH_FAIL_OVER ?= 5
 BENCH_FAIL_ALLOCS_OVER ?= 10
+BENCH_FAIL_BYTES_OVER ?= 10
+# Sign-aware unit=pct gates for custom b.ReportMetric units
+# (space-separated): slots/sec is a throughput, so a negative threshold
+# fails on falls — the inverted-engine bench may not silently lose 10%
+# of its slot rate.
+BENCH_METRIC_GATES ?= slots/sec=-10
 bench-compare: bench-json
 	@test -n "$(BENCH_BASE)" || { echo "no committed BENCH_*.json baseline"; exit 1; }
 	@git show HEAD:$(BENCH_BASE) > bench-base.json
 	$(GO) run ./cmd/benchjson -compare -fail-over $(BENCH_FAIL_OVER) \
-		-fail-allocs-over $(BENCH_FAIL_ALLOCS_OVER) bench-base.json $(BENCH_JSON) \
+		-fail-allocs-over $(BENCH_FAIL_ALLOCS_OVER) \
+		-fail-bytes-over $(BENCH_FAIL_BYTES_OVER) \
+		$(foreach g,$(BENCH_METRIC_GATES),-fail-metric-over $(g)) \
+		bench-base.json $(BENCH_JSON) \
 		|| { rm -f bench-base.json; exit 1; }
 	@rm -f bench-base.json
 
 # CI variant: one iteration per benchmark. Single-iteration wall times
-# swing wildly on shared runners, so the ns gate is wide open there and
-# the allocs gate (deterministic at fixed code) does the real work.
+# swing wildly on shared runners, so the ns and slots/sec gates are
+# wide open there and the allocs and B/op gates (deterministic at fixed
+# code) do the real work.
 bench-compare-smoke:
-	$(MAKE) bench-compare BENCHTIME=1x BENCH_FAIL_OVER=900 BENCH_FAIL_ALLOCS_OVER=25
+	$(MAKE) bench-compare BENCHTIME=1x BENCH_FAIL_OVER=900 \
+		BENCH_FAIL_ALLOCS_OVER=25 BENCH_FAIL_BYTES_OVER=25 \
+		BENCH_METRIC_GATES=slots/sec=-90
 
 # Time-boxed coverage-guided fuzzing over the property oracles
 # (internal/proptest) and the CLI parsers (cmd/benchjson, cmd/rvsim):

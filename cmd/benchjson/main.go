@@ -14,12 +14,18 @@
 //
 // Compare mode turns two trajectory points into a regression gate:
 //
-//	benchjson -compare -fail-over 5 -fail-allocs-over 10 old.json new.json
+//	benchjson -compare -fail-over 5 -fail-allocs-over 10 -fail-bytes-over 10 \
+//	    -fail-metric-over slots/sec=-10 old.json new.json
 //
-// prints a per-benchmark delta table (ns/op and allocs/op) and exits
+// prints a per-benchmark delta table (ns/op and allocs/op), an "other
+// metrics" table (B/op and custom b.ReportMetric units), and exits
 // nonzero when any matched benchmark regressed past a threshold.
-// Negative thresholds (the default) report without gating, so the same
-// invocation serves both humans and CI.
+// Negative -fail-over/-fail-allocs-over/-fail-bytes-over thresholds
+// (the default) report without gating, so the same invocation serves
+// both humans and CI. -fail-metric-over is repeatable and sign-aware:
+// the sign encodes which direction is a regression, so slots/sec=-10
+// fails when throughput *falls* more than 10%, while waste/op=10 fails
+// when it *rises* more than 10%.
 package main
 
 import (
@@ -71,6 +77,9 @@ func run(args []string, in io.Reader, echo io.Writer) error {
 	compare := fs.Bool("compare", false, "compare two trajectory files: benchjson -compare old.json new.json")
 	failOver := fs.Float64("fail-over", -1, "compare mode: fail when any ns/op regression exceeds this percentage (negative = report only)")
 	failAllocsOver := fs.Float64("fail-allocs-over", -1, "compare mode: fail when any allocs/op regression exceeds this percentage (negative = report only)")
+	failBytesOver := fs.Float64("fail-bytes-over", -1, "compare mode: fail when any B/op regression exceeds this percentage (negative = report only)")
+	metricOver := metricGates{}
+	fs.Var(metricOver, "fail-metric-over", "compare mode, repeatable: unit=pct gates a reported metric, sign-aware — slots/sec=-10 fails on a >10% fall, waste/op=10 on a >10% rise")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,7 +98,8 @@ func run(args []string, in io.Reader, echo io.Writer) error {
 			defer f.Close()
 			w = f
 		}
-		return runCompare(fs.Arg(0), fs.Arg(1), *failOver, *failAllocsOver, w)
+		g := gateSpec{ns: *failOver, allocs: *failAllocsOver, bytes: *failBytesOver, metric: metricOver}
+		return runCompare(fs.Arg(0), fs.Arg(1), g, w)
 	}
 	f, err := parse(io.TeeReader(in, echo))
 	if err != nil {
@@ -206,12 +216,55 @@ func benchKey(b Benchmark) string { return b.Pkg + "\x00" + b.Name }
 // percentage gate stays quiet; see the comment at its use.
 const minAllocsDelta = 8
 
+// minBytesDelta plays the same role for the B/op gate: a percentage of
+// a small byte count is noise (one pooled buffer surviving differently
+// across runs), so the gate also wants a real absolute movement.
+const minBytesDelta = 256
+
+// metricGates accumulates repeated -fail-metric-over unit=pct flags.
+// The percentage's sign picks the regression direction: positive gates
+// rises (cost-like units), negative gates falls (throughput-like units
+// such as slots/sec, where lower is worse).
+type metricGates map[string]float64
+
+func (m metricGates) String() string {
+	parts := make([]string, 0, len(m))
+	for u, v := range m {
+		parts = append(parts, fmt.Sprintf("%s=%g", u, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (m metricGates) Set(s string) error {
+	unit, pctStr, ok := strings.Cut(s, "=")
+	if !ok || unit == "" {
+		return fmt.Errorf("-fail-metric-over wants unit=pct, got %q", s)
+	}
+	pct, err := strconv.ParseFloat(pctStr, 64)
+	if err != nil {
+		return fmt.Errorf("-fail-metric-over %q: bad percentage: %w", s, err)
+	}
+	m[unit] = pct
+	return nil
+}
+
+// gateSpec is the full set of compare-mode thresholds. ns, allocs and
+// bytes follow the original convention (negative = report only);
+// metric maps a unit to its sign-aware threshold.
+type gateSpec struct {
+	ns     float64
+	allocs float64
+	bytes  float64
+	metric metricGates
+}
+
 // runCompare renders the per-benchmark delta table between two
 // trajectory points and applies the regression thresholds. Benchmarks
 // present in only one file are listed but never gate (a new benchmark
 // is not a regression; a removed one is a review question, not a CI
 // failure).
-func runCompare(oldPath, newPath string, failOver, failAllocsOver float64, out io.Writer) error {
+func runCompare(oldPath, newPath string, g gateSpec, out io.Writer) error {
 	oldF, err := loadFile(oldPath)
 	if err != nil {
 		return err
@@ -232,6 +285,12 @@ func runCompare(oldPath, newPath string, failOver, failAllocsOver float64, out i
 	fmt.Fprintf(w, "%-56s %14s %14s %9s %10s %10s %9s\n",
 		"benchmark", "old ns/op", "new ns/op", "Δns/op", "old allocs", "new allocs", "Δallocs")
 	var violations []string
+	type metricRow struct {
+		name, unit   string
+		oldV, newV   float64
+		okOld, okNew bool
+	}
+	var metricRows []metricRow
 	matched := make(map[string]bool)
 	for _, nb := range newF.Benchmarks {
 		key := benchKey(nb)
@@ -249,19 +308,63 @@ func runCompare(oldPath, newPath string, failOver, failAllocsOver float64, out i
 		}
 		fmt.Fprintf(w, "%-56s %14.0f %14.0f %9s %10s %10s %9s\n",
 			nb.Name, ob.NsPerOp, nb.NsPerOp, fmtPct(nsDelta),
-			fmtAllocs(oldAllocs, okOld), fmtAllocs(newAllocs, okNew), fmtPct(allocsDelta))
-		if failOver >= 0 && !math.IsNaN(nsDelta) && nsDelta > failOver {
+			fmtVal(oldAllocs, okOld), fmtVal(newAllocs, okNew), fmtPct(allocsDelta))
+		if g.ns >= 0 && !math.IsNaN(nsDelta) && nsDelta > g.ns {
 			violations = append(violations,
-				fmt.Sprintf("%s: ns/op %+.1f%% exceeds %.1f%%", nb.Name, nsDelta, failOver))
+				fmt.Sprintf("%s: ns/op %+.1f%% exceeds %.1f%%", nb.Name, nsDelta, g.ns))
 		}
 		// Percentage alone misfires on tiny counts (2 → 3 allocs is
 		// "+50%" but usually a one-time pool or cache warm-up caught by
 		// a single-iteration run), so the allocs gate also requires an
 		// absolute movement of more than minAllocsDelta.
-		if failAllocsOver >= 0 && !math.IsNaN(allocsDelta) && allocsDelta > failAllocsOver &&
+		if g.allocs >= 0 && !math.IsNaN(allocsDelta) && allocsDelta > g.allocs &&
 			newAllocs-oldAllocs > minAllocsDelta {
 			violations = append(violations,
-				fmt.Sprintf("%s: allocs/op %+.1f%% exceeds %.1f%%", nb.Name, allocsDelta, failAllocsOver))
+				fmt.Sprintf("%s: allocs/op %+.1f%% exceeds %.1f%%", nb.Name, allocsDelta, g.allocs))
+		}
+		// The remaining units — B/op plus anything a benchmark reported
+		// via b.ReportMetric — render in their own table below and gate
+		// here: B/op under the same rise-plus-absolute-floor rule as
+		// allocs, custom units by their sign-aware -fail-metric-over
+		// thresholds.
+		for _, unit := range metricUnits(ob.Metrics, nb.Metrics) {
+			ov, okO := ob.Metrics[unit]
+			nv, okN := nb.Metrics[unit]
+			metricRows = append(metricRows, metricRow{nb.Name, unit, ov, nv, okO, okN})
+			if !okO || !okN {
+				continue
+			}
+			d := pctDelta(ov, nv)
+			if math.IsNaN(d) {
+				continue
+			}
+			if unit == "B/op" {
+				if g.bytes >= 0 && d > g.bytes && nv-ov > minBytesDelta {
+					violations = append(violations,
+						fmt.Sprintf("%s: B/op %+.1f%% exceeds %.1f%%", nb.Name, d, g.bytes))
+				}
+				continue
+			}
+			switch mg, gated := g.metric[unit]; {
+			case !gated:
+			case mg >= 0 && d > mg:
+				violations = append(violations,
+					fmt.Sprintf("%s: %s %+.1f%% exceeds %.1f%% (higher is worse)", nb.Name, unit, d, mg))
+			case mg < 0 && d < mg:
+				violations = append(violations,
+					fmt.Sprintf("%s: %s %+.1f%% falls past %.1f%% (lower is worse)", nb.Name, unit, d, mg))
+			}
+		}
+	}
+	if len(metricRows) > 0 {
+		fmt.Fprintf(w, "\n%-56s %-14s %14s %14s %9s\n", "other metrics", "unit", "old", "new", "Δ")
+		for _, r := range metricRows {
+			d := math.NaN()
+			if r.okOld && r.okNew {
+				d = pctDelta(r.oldV, r.newV)
+			}
+			fmt.Fprintf(w, "%-56s %-14s %14s %14s %9s\n",
+				r.name, r.unit, fmtVal(r.oldV, r.okOld), fmtVal(r.newV, r.okNew), fmtPct(d))
 		}
 	}
 	var added, removed []string
@@ -310,11 +413,29 @@ func fmtPct(v float64) string {
 	return fmt.Sprintf("%+.1f%%", v)
 }
 
-func fmtAllocs(v float64, ok bool) string {
+func fmtVal(v float64, ok bool) string {
 	if !ok {
 		return "-"
 	}
 	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// metricUnits returns the sorted union of the two metric maps' units,
+// minus allocs/op (already a column of the main table).
+func metricUnits(a, b map[string]float64) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var units []string
+	for _, m := range []map[string]float64{a, b} {
+		for u := range m {
+			if u == "allocs/op" || seen[u] {
+				continue
+			}
+			seen[u] = true
+			units = append(units, u)
+		}
+	}
+	sort.Strings(units)
+	return units
 }
 
 // splitProcs splits the trailing -N GOMAXPROCS suffix off a benchmark

@@ -169,7 +169,7 @@ func TestCompareTableAndGate(t *testing.T) {
 		bench("p", "BenchmarkNew", 5, 2),
 	})
 	var out strings.Builder
-	if err := runCompare(old, new, 5, 10, &out); err != nil {
+	if err := runCompare(old, new, gateSpec{ns: 5, allocs: 10, bytes: -1}, &out); err != nil {
 		t.Fatalf("within thresholds, got error: %v\n%s", err, out.String())
 	}
 	for _, want := range []string{"BenchmarkStable", "+2.0%", "-50.0%",
@@ -180,7 +180,7 @@ func TestCompareTableAndGate(t *testing.T) {
 	}
 	// Tighten the ns gate below the +2% drift: now it must fail.
 	out.Reset()
-	if err := runCompare(old, new, 1, -1, &out); err == nil {
+	if err := runCompare(old, new, gateSpec{ns: 1, allocs: -1, bytes: -1}, &out); err == nil {
 		t.Fatalf("2%% regression passed a 1%% gate:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "REGRESSIONS") {
@@ -190,12 +190,128 @@ func TestCompareTableAndGate(t *testing.T) {
 	regressed := writeTrajectory(t, dir, "regressed.json", "2026-07-29", []Benchmark{
 		bench("p", "BenchmarkStable", 1000, 30),
 	})
-	if err := runCompare(old, regressed, -1, 10, &out); err == nil {
+	if err := runCompare(old, regressed, gateSpec{ns: -1, allocs: 10, bytes: -1}, &out); err == nil {
 		t.Fatal("3x allocs passed a 10% allocs gate")
 	}
 	// Negative thresholds: report-only, never fails.
-	if err := runCompare(old, regressed, -1, -1, &out); err != nil {
+	if err := runCompare(old, regressed, gateSpec{ns: -1, allocs: -1, bytes: -1}, &out); err != nil {
 		t.Fatalf("report-only mode failed: %v", err)
+	}
+}
+
+// benchM builds a Benchmark carrying arbitrary extra metrics.
+func benchM(pkg, name string, ns float64, metrics map[string]float64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, Procs: 1, Iterations: 1, NsPerOp: ns, Metrics: metrics}
+}
+
+// TestCompareMetricGates: -fail-metric-over thresholds are sign-aware —
+// a negative percentage gates falls (throughput units), a positive one
+// gates rises (cost units) — and ungated custom units only report.
+func TestCompareMetricGates(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTrajectory(t, dir, "old.json", "2026-08-01", []Benchmark{
+		benchM("p", "BenchmarkEngine/inverted", 1000, map[string]float64{"slots/sec": 100000, "waste/op": 10}),
+	})
+	dropped := writeTrajectory(t, dir, "dropped.json", "2026-08-08", []Benchmark{
+		benchM("p", "BenchmarkEngine/inverted", 1000, map[string]float64{"slots/sec": 80000, "waste/op": 10}),
+	})
+	var out strings.Builder
+	// A 20% throughput fall must trip a slots/sec=-10 gate.
+	err := runCompare(old, dropped, gateSpec{ns: -1, allocs: -1, bytes: -1,
+		metric: metricGates{"slots/sec": -10}}, &out)
+	if err == nil {
+		t.Fatalf("20%% slots/sec drop passed a -10%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "lower is worse") {
+		t.Fatalf("violation should name the direction:\n%s", out.String())
+	}
+	// The same drop with no gate for its unit only reports; the "other
+	// metrics" table still shows the movement.
+	out.Reset()
+	if err := runCompare(old, dropped, gateSpec{ns: -1, allocs: -1, bytes: -1}, &out); err != nil {
+		t.Fatalf("ungated custom unit failed the compare: %v", err)
+	}
+	for _, want := range []string{"other metrics", "slots/sec", "-20.0%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("metrics table missing %q:\n%s", want, out.String())
+		}
+	}
+	// A throughput rise sails through the negative gate.
+	risen := writeTrajectory(t, dir, "risen.json", "2026-08-08", []Benchmark{
+		benchM("p", "BenchmarkEngine/inverted", 1000, map[string]float64{"slots/sec": 200000, "waste/op": 10}),
+	})
+	if err := runCompare(old, risen, gateSpec{ns: -1, allocs: -1, bytes: -1,
+		metric: metricGates{"slots/sec": -10}}, &out); err != nil {
+		t.Fatalf("throughput rise tripped a lower-is-worse gate: %v", err)
+	}
+	// A positive threshold gates rises of cost-like units.
+	waste := writeTrajectory(t, dir, "waste.json", "2026-08-08", []Benchmark{
+		benchM("p", "BenchmarkEngine/inverted", 1000, map[string]float64{"slots/sec": 100000, "waste/op": 20}),
+	})
+	out.Reset()
+	err = runCompare(old, waste, gateSpec{ns: -1, allocs: -1, bytes: -1,
+		metric: metricGates{"waste/op": 5}}, &out)
+	if err == nil {
+		t.Fatalf("2x waste/op passed a +5%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "higher is worse") {
+		t.Fatalf("violation should name the direction:\n%s", out.String())
+	}
+}
+
+// TestCompareBytesGate: the B/op gate needs both the percentage and an
+// absolute movement past minBytesDelta, mirroring the allocs rule.
+func TestCompareBytesGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTrajectory(t, dir, "old.json", "a", []Benchmark{
+		benchM("p", "BenchmarkBig", 1000, map[string]float64{"B/op": 1000}),
+		benchM("p", "BenchmarkTiny", 1000, map[string]float64{"B/op": 50}),
+	})
+	new := writeTrajectory(t, dir, "new.json", "b", []Benchmark{
+		benchM("p", "BenchmarkBig", 1000, map[string]float64{"B/op": 3000}),
+		benchM("p", "BenchmarkTiny", 1000, map[string]float64{"B/op": 150}),
+	})
+	var out strings.Builder
+	err := runCompare(old, new, gateSpec{ns: -1, allocs: -1, bytes: 10}, &out)
+	if err == nil {
+		t.Fatalf("3x B/op passed a 10%% gate:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "BenchmarkTiny: B/op") {
+		t.Fatalf("+100 bytes is under minBytesDelta and must not gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkBig: B/op") {
+		t.Fatalf("B/op violation missing:\n%s", out.String())
+	}
+	// Report-only default leaves the same movement ungated.
+	if err := runCompare(old, new, gateSpec{ns: -1, allocs: -1, bytes: -1}, &out); err != nil {
+		t.Fatalf("report-only bytes gate failed: %v", err)
+	}
+}
+
+// TestMetricGatesFlag covers the unit=pct flag syntax end to end.
+func TestMetricGatesFlag(t *testing.T) {
+	var echo strings.Builder
+	for _, bad := range []string{"no-equals", "=5", "slots/sec=abc"} {
+		if err := run([]string{"-compare", "-fail-metric-over", bad, "a", "b"}, strings.NewReader(""), &echo); err == nil {
+			t.Errorf("spec %q: expected flag error", bad)
+		}
+	}
+	dir := t.TempDir()
+	old := writeTrajectory(t, dir, "old.json", "a", []Benchmark{
+		benchM("p", "BenchmarkX", 100, map[string]float64{"slots/sec": 1000}),
+	})
+	new := writeTrajectory(t, dir, "new.json", "b", []Benchmark{
+		benchM("p", "BenchmarkX", 100, map[string]float64{"slots/sec": 500}),
+	})
+	report := filepath.Join(dir, "report.txt")
+	err := run([]string{"-compare", "-fail-metric-over", "slots/sec=-10", "-out", report, old, new},
+		strings.NewReader(""), &echo)
+	if err == nil {
+		t.Fatal("halved slots/sec passed the CLI gate")
+	}
+	data, _ := os.ReadFile(report)
+	if !strings.Contains(string(data), "REGRESSIONS") {
+		t.Fatalf("report missing violation table:\n%s", data)
 	}
 }
 

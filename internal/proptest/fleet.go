@@ -105,6 +105,18 @@ func CheckFleetEngines(c FleetCase) error {
 			return fmt.Errorf("time-sharded joint engine (workers=%d) vs oracle: %w", workers, err)
 		}
 	}
+	// The inverted-index scan never engages on oracle-sized fleets (they
+	// sit far below the crossover floor), so force it: every generated
+	// dynamics combination must agree with the oracle through the
+	// posting-list path too, at the same partition-inducing worker
+	// counts.
+	prevFloor := simulator.SetInvertedFloor(0)
+	defer simulator.SetInvertedFloor(prevFloor)
+	for _, workers := range []int{2, 5} {
+		if err := sameMeetings(want, ResultMeetings(eng.RunJointParallelEnv(c.Sc.Horizon, workers, env))); err != nil {
+			return fmt.Errorf("inverted-index joint engine (workers=%d) vs oracle: %w", workers, err)
+		}
+	}
 	return nil
 }
 

@@ -13,6 +13,10 @@ package schedule
 // construction and safe for concurrent readers.
 type DenseTable struct {
 	table []int32
+	// prefix marks a table built by DensePrefix: it covers only slots
+	// [0, len(table)), not a full period, so wraparound reads are a
+	// caller bug rather than a cheap modulo.
+	prefix bool
 }
 
 // CompileDense remaps a compiled schedule's hop table through id,
@@ -35,13 +39,38 @@ func CompileDense(s Schedule, id func(ch int) int32) (d *DenseTable, ok bool) {
 	return &DenseTable{table: out}, true
 }
 
-// Len returns the period covered by the table, in slots.
+// DensePrefix materializes dense ids for schedule-local slots
+// [0, slots) of an arbitrary schedule — the horizon-bounded complement
+// of CompileDense for schedules whose period is too long to compile.
+// Evaluation cost is paid once at build time; every later FillBlock is
+// a straight copy. The caller owns the memory trade (4 bytes per slot)
+// and must not read at or past slots.
+func DensePrefix(s Schedule, slots int, id func(ch int) int32, scratch []int) *DenseTable {
+	out := make([]int32, slots)
+	for base := 0; base < slots; base += len(scratch) {
+		m := min(len(scratch), slots-base)
+		raw := scratch[:m]
+		FillBlock(s, raw, base)
+		for i, ch := range raw {
+			out[base+i] = id(ch)
+		}
+	}
+	return &DenseTable{table: out, prefix: true}
+}
+
+// Len returns the slots covered by the table: one period for
+// CompileDense tables, the materialized prefix for DensePrefix ones.
 func (d *DenseTable) Len() int { return len(d.table) }
 
 // FillBlock fills dst[i] with the dense id of slot start+i: a wrapped
-// copy of the period table, mirroring Compiled.ChannelBlock.
+// copy of the period table, mirroring Compiled.ChannelBlock. Prefix
+// tables do not wrap; reading past their coverage panics.
 func (d *DenseTable) FillBlock(dst []int32, start int) {
 	CheckSlot(start)
+	if d.prefix {
+		copy(dst, d.table[start:start+len(dst)])
+		return
+	}
 	p := len(d.table)
 	off := start % p
 	for len(dst) > 0 {

@@ -1,0 +1,427 @@
+package simulator
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"rendezvous/internal/schedule"
+)
+
+// Inverted-index meeting engine.
+//
+// Every earlier engine walks the pair axis: the pairwise decomposition
+// scans each pair over the horizon, and the joint occupancy scans walk
+// a per-channel agent list for every arrival, checking a per-pair hit
+// entry for each listed agent — O(candidate pairs) of random access
+// into arrays that grow quadratically with the fleet. This engine is
+// the transpose. For each slot inside a block-aligned window, agents
+// are bucketed into per-dense-channel-id posting lists
+// (schedule.PostingIndex, a two-pass counting gather). Each agent sits
+// on exactly one channel per slot, so the groups partition the slot's
+// arrivals and can be processed independently: walking a group in
+// ascending id order, its members' 64-agent bitset words build up in
+// registers, and each member detects its new meetings word-parallel:
+//
+//	cand = posting[w] &^ met[i][w]
+//
+// — the channel's earlier co-listeners AND-NOT the agents i has
+// already met in this scan. Already-met pairs vanish from cand before
+// any per-pair work happens, and whole 64-agent words vanish from the
+// iteration once saturated: met rows are seeded with every unmeetable
+// pair plus the diagonal and above (a triangular row never sees a
+// later id), so a word goes all-ones exactly when everyone in it has
+// been dealt with, and a per-agent full-word mask prunes it from every
+// later arrival. The steady-state cost per slot is O(active agents)
+// with a small constant: per-pair work is paid exactly once per
+// meeting, and a slot's posting state lives entirely in registers and
+// the L1-resident gather arrays — no per-arrival stamp checks or
+// shared-words read-modify-writes survive from the pair-axis designs.
+//
+// The scan records into the same per-pair hit arrays the time-sharded
+// merge consumes, and feeds the same shared seen-bitset, so it slots
+// into runJointSharded as a drop-in alternative to scanShard — the
+// window-partition argument for byte-identical Results at any worker
+// count carries over unchanged. Environments apply as channel masks
+// before intersection: at most one Available call per (channel, slot),
+// made lazily when the channel's group first exposes a live candidate
+// pair, after which a blocked channel's whole group is skipped.
+
+// invertedFloor is the fleet size at which the joint scans switch to
+// the inverted-index path. Below it the occupancy lists are so short
+// that word bookkeeping costs more than it saves; above it the
+// per-pair random access the posting intersection eliminates dominates
+// the scan. It is atomic only so tests and calibration can repoint it;
+// both paths compute byte-identical Results.
+var invertedFloor atomic.Int64
+
+// Calibrated on the K=4, 128-channel "ours" scenario family (horizon
+// 8192, single worker): sharded wins at 128 agents (14.4ms vs 15.8ms),
+// the two tie at 192 (23.2ms vs 22.9ms), and inverted pulls ahead from
+// 224 up (29.0ms vs 25.4ms at 224, 1.4× at 256, 1.75× at 512). The
+// crossover moves with channel count and occupancy, but the penalty
+// for guessing one bucket wrong is a few percent either way, so a
+// single measured constant beats a per-run model.
+const defaultInvertedFloor = 192
+
+func init() { invertedFloor.Store(defaultInvertedFloor) }
+
+// SetInvertedFloor repoints the agent-count crossover above which the
+// joint scans use the inverted-index engine, returning the previous
+// floor. Like SetBlockEval it exists for equivalence tests and
+// calibration; the crossover is purely a performance choice.
+func SetInvertedFloor(agents int) (previous int) {
+	return int(invertedFloor.Swap(int64(agents)))
+}
+
+// useInverted reports whether the joint scans should take the
+// inverted-index path: block evaluation on, a fleet at or above the
+// crossover but within the posting index's member universe, and a
+// horizon whose slot keys fit the int32 stamps.
+func (e *Engine) useInverted(horizon int) bool {
+	return blockEval.Load() && int64(len(e.agents)) >= invertedFloor.Load() &&
+		len(e.agents) <= schedule.MaxPostingMembers && horizon < math.MaxInt32
+}
+
+// metBase returns the triangular met-row offsets: row i occupies
+// met[metBase[i] : metBase[i+1]], covering posting words 0 … i>>6.
+// Rows are triangular because a posting list at any instant holds only
+// earlier-id arrivals, so row i never needs a word past its own.
+// Cached on the engine (it depends only on the fleet size).
+func (e *Engine) metBase() []int32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.metRowBase != nil {
+		return e.metRowBase
+	}
+	n := len(e.agents)
+	base := make([]int32, n+1)
+	off := int32(0)
+	for i := 0; i < n; i++ {
+		base[i] = off
+		off += int32(i>>6) + 1
+	}
+	base[n] = off
+	e.metRowBase = base
+	return base
+}
+
+// metSeed returns the met-row template the inverted scan starts from,
+// and its full-word summary (rowFull), cached per horizon on the
+// engine. Row i pre-marks the diagonal, the bits of its last word
+// above i (ids that can never appear in a posting list i detects
+// against), and every earlier agent j with which i can never meet
+// within the horizon (disjoint hop sets or non-overlapping activity
+// windows). Seeding unmeetable pairs is what lets saturation pruning
+// converge: a row word goes all-ones exactly when every agent in it
+// has either met i or never can, at which point no arrival ever looks
+// at it again.
+func (e *Engine) metSeed(horizon int) (tmpl, full []uint64) {
+	base := e.metBase()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.metSeedTmpl != nil && e.metSeedHorizon == horizon {
+		return e.metSeedTmpl, e.metSeedFull
+	}
+	n := len(e.agents)
+	tmpl = make([]uint64, base[n])
+	full = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		row := tmpl[base[i]:base[i+1]]
+		iw := i >> 6
+		row[iw] |= ^uint64(0) << (i & 63) // diagonal and above: never posted before i arrives
+		for j := 0; j < i; j++ {
+			if !e.pairMeetable(j, i, horizon) {
+				row[j>>6] |= 1 << (j & 63)
+			}
+		}
+		for w := 0; w <= iw; w++ {
+			if row[w] == ^uint64(0) {
+				full[i] |= 1 << (w & 63)
+			}
+		}
+	}
+	e.metSeedHorizon, e.metSeedTmpl, e.metSeedFull = horizon, tmpl, full
+	return tmpl, full
+}
+
+// invertedScratch is one worker's private inverted-index state: the
+// posting gather, the per-agent met-rows mirroring its hit array with
+// their full-word masks, and the per-agent activity clamps for the
+// current block. Recycled through Engine.invPool.
+type invertedScratch struct {
+	post *schedule.PostingIndex
+	// met holds triangular met-rows (see Engine.metBase): row i is the
+	// bitset of earlier agents i has already met within this worker's
+	// windows (or never can meet — see metSeed), the word-parallel
+	// mirror of hits[p].s != 0. rowFull[i] marks i's saturated words.
+	met     []uint64
+	rowFull []uint64
+	// from/to clamp each agent's activity to the current block:
+	// active at offset x iff from[i] ≤ x < to[i].
+	from, to []int32
+	// ids is the slot-major transpose of the block buffers:
+	// ids[off*n+i] is agent i's dense channel id at block offset off.
+	ids []int32
+}
+
+// getInvertedScratch returns a scratch seeded for a fresh scan: met
+// rows copied from tmpl, full-word masks from full. The posting gather
+// is self-cleaning (every slot ends in ResetSlot), so pooled reuse
+// needs no posting reset.
+func (e *Engine) getInvertedScratch(tmpl, full []uint64) *invertedScratch {
+	sc, _ := e.invPool.Get().(*invertedScratch)
+	n := len(e.agents)
+	if sc == nil {
+		sc = &invertedScratch{
+			post:    schedule.NewPostingIndex(e.chIdx.count, n),
+			met:     make([]uint64, len(tmpl)),
+			rowFull: make([]uint64, n),
+			from:    make([]int32, n),
+			to:      make([]int32, n),
+			ids:     make([]int32, n*blockLen),
+		}
+	}
+	copy(sc.met, tmpl)
+	copy(sc.rowFull, full)
+	return sc
+}
+
+// fillBlockWindowClamped is fillBlockWindow plus materialized activity
+// clamps: isc.from/to receive each agent's active offset range within
+// [base, base+m) (empty range for agents inactive across the whole
+// block), so the scan tests activity with two dense int32 compares
+// instead of loading Agent structs per slot.
+func (e *Engine) fillBlockWindowClamped(p *runPlan, sc *jointScratch, isc *invertedScratch, base, m int) {
+	for i := range e.agents {
+		a := &e.agents[i]
+		if a.Wake >= base+m || (a.Leave > 0 && a.Leave <= base) {
+			isc.from[i], isc.to[i] = 0, 0
+			continue
+		}
+		from := max(0, a.Wake-base)
+		to := m
+		if a.Leave > 0 && a.Leave < base+m {
+			to = a.Leave - base
+		}
+		isc.from[i], isc.to[i] = int32(from), int32(to)
+		schedule.FillBlockDense(p.scheds[i], p.dense[i], sc.bufs[i][from:to], base+from-a.Wake, e.id32, sc.raw)
+	}
+}
+
+// transposeIDs rewrites the agent-major block buffers into the
+// slot-major layout the scan consumes: dst[off*n+i] = bufs[i][off] for
+// off in [0, m). The scan's inner loop walks agents within one slot,
+// so slot-major turns its id loads into a sequential stream; done
+// agent-major, those same loads touch one cache line per agent and
+// evict each other long before their next offset is needed. 64×64
+// tiling keeps the transpose's own working set L1-resident, paying the
+// strided access pattern once per line instead of once per element.
+// Buffer contents outside an agent's from/to clamp transpose as
+// garbage and must stay guarded by the clamp on the read side.
+func transposeIDs(dst []int32, bufs [][]int32, n, m int) {
+	const tile = 64
+	for ob := 0; ob < m; ob += tile {
+		oe := min(ob+tile, m)
+		for ib := 0; ib < n; ib += tile {
+			ie := min(ib+tile, n)
+			for off := ob; off < oe; off++ {
+				row := dst[off*n : off*n+n]
+				for i := ib; i < ie; i++ {
+					row[i] = bufs[i][off]
+				}
+			}
+		}
+	}
+}
+
+// shardState is one worker's view of a sharded scan: its private hit
+// array plus the run-wide environment and cancellation state. Bundling
+// them keeps the scan entry points small enough that every argument
+// travels in a register.
+type shardState struct {
+	hits      []hit32
+	env       Environment
+	seen      []uint64
+	seenCount *atomic.Int64
+	done      *atomic.Bool
+	meetable  int64
+	// solo marks a single-worker run: the seen bitset has no other
+	// writers, so the scan may update it without atomics.
+	solo bool
+}
+
+// scanShardInverted is scanShard's inverted-index counterpart: it runs
+// the posting-list scan over global slots [lo, hi), recording each
+// pair's first hit within this worker's windows into st.hits and
+// feeding the shared cancellation state. The hit array, seen-bitset,
+// and ordering contract are identical to scanShard's, so the sharded
+// merge consumes either scan's output interchangeably.
+func (e *Engine) scanShardInverted(plan *runPlan, sc *jointScratch, isc *invertedScratch, st *shardState, lo, hi int) {
+	n := len(e.agents)
+	rowBase := e.rowBase
+	mbase := e.metRowBase[:n] // built by metSeed before workers spawn
+	union := e.union
+	ids := isc.ids
+	// Reslicing to exactly n lets the compiler drop the bounds checks on
+	// the per-agent loads in the inner loops.
+	from, to := isc.from[:n], isc.to[:n]
+	met, rowFull := isc.met, isc.rowFull[:n]
+	post := isc.post
+	hits := st.hits
+	env := st.env
+	seen := st.seen
+	meetable := st.meetable
+	solo := st.solo
+	// pw is the current group's posting bitset: it never leaves the
+	// stack because groups are processed to completion one at a time,
+	// and scanGroup clears its own nonzero words before returning.
+	var pw [schedule.MaxPostingMembers / 64]uint64
+	gcx := groupScanCtx{
+		rowBase: rowBase, mbase: mbase, union: union,
+		met: met, rowFull: rowFull,
+		hits: hits, env: env, seen: seen,
+		st: st, meetable: meetable, solo: solo,
+	}
+	for base := lo; base < hi; base += blockLen {
+		m := min(blockLen, hi-base)
+		e.fillBlockWindowClamped(plan, sc, isc, base, m)
+		transposeIDs(ids, sc.bufs, n, m)
+		for off := 0; off < m; off++ {
+			t := base + off
+			tk := int32(t) + 1
+			off32 := int32(off)
+			slotIDs := ids[off*n : off*n+n]
+			// Counting gather: group this slot's arrivals by channel.
+			// Visiting agents in ascending id twice keeps each group in
+			// ascending id order, which the detection below relies on.
+			for i := 0; i < n; i++ {
+				if off32 >= from[i] && off32 < to[i] {
+					post.Count(slotIDs[i])
+				}
+			}
+			post.Place()
+			for i := 0; i < n; i++ {
+				if off32 >= from[i] && off32 < to[i] {
+					post.Put(slotIDs[i], int32(i))
+				}
+			}
+			for wi, b := range post.ChannelMask() {
+				if b == 0 {
+					continue
+				}
+				for ; b != 0; b &= b - 1 {
+					c := int32(wi<<6 + bits.TrailingZeros64(b))
+					g := post.Group(c)
+					if len(g) < 2 {
+						continue // a lone listener meets nobody
+					}
+					scanGroup(&gcx, &pw, g, t, tk, int(c))
+				}
+			}
+			post.ResetSlot()
+		}
+	}
+}
+
+// groupScanCtx carries the scan-invariant state one worker's
+// scanGroup calls share. It lives on scanShardInverted's stack, built
+// once per scan rather than once per group; met and rowFull alias the
+// worker's scratch, so scanGroup's updates are visible to later groups.
+type groupScanCtx struct {
+	rowBase  []int
+	mbase    []int32
+	union    []int
+	met      []uint64
+	rowFull  []uint64
+	hits     []hit32
+	env      Environment
+	seen     []uint64
+	st       *shardState
+	meetable int64
+	solo     bool
+}
+
+// scanGroup intersects one channel group (dense id d, slot t) against
+// the met matrix, recording each newly-met pair's first hit, and
+// leaves pw cleared for the next group. Group members arrive in
+// ascending agent id, so each member only intersects against
+// earlier-id members and the triangular pair index needs no swap. The
+// environment is consulted lazily, at most once per (channel, slot):
+// only when the group first exposes a candidate pair not already met.
+//
+// Kept out of scanShardInverted — and out of its inliner's reach —
+// deliberately: the combined function has repeatedly tripped optimizer
+// wrong-code bugs in this toolchain (wild writes and dropped counter
+// updates that vanish under -N or -race), and the split keeps each
+// half small enough to stay on safe ground. Do not merge it back or
+// grow either side without re-running the proptest soak.
+//
+//go:noinline
+func scanGroup(cx *groupScanCtx, pw *[schedule.MaxPostingMembers / 64]uint64, g []int32, t int, tk int32, d int) {
+	rowBase := cx.rowBase
+	mbase := cx.mbase
+	met := cx.met
+	rowFull := cx.rowFull
+	hits := cx.hits
+	env := cx.env
+	seen := cx.seen
+	st := cx.st
+	meetable := cx.meetable
+	solo := cx.solo
+	probed := env == nil
+	var nz uint64
+	for _, i32 := range g {
+		i := int(i32)
+		if cm := nz &^ rowFull[i]; cm != 0 {
+			rb := int(mbase[i])
+			blocked := false
+			for s := cm; s != 0; s &= s - 1 {
+				w := bits.TrailingZeros64(s) & 63
+				cand := pw[w] &^ met[rb+w]
+				if cand == 0 {
+					continue
+				}
+				if !probed {
+					probed = true
+					if !env.Available(cx.union[d], t) {
+						blocked = true
+						break
+					}
+				}
+				for cand != 0 {
+					tz := bits.TrailingZeros64(cand)
+					cand &= cand - 1
+					o := w<<6 + tz
+					p := rowBase[o] + i - o - 1
+					hits[p] = hit32{s: tk, ch: int32(d)}
+					met[rb+w] |= 1 << (tz & 63)
+					if met[rb+w] == ^uint64(0) {
+						rowFull[i] |= 1 << (w & 63)
+					}
+					if solo {
+						if seen[p>>6]&(1<<(p&63)) == 0 {
+							seen[p>>6] |= 1 << (p & 63)
+							if st.seenCount.Add(1) == meetable {
+								st.done.Store(true)
+							}
+						}
+					} else if old := atomic.OrUint64(&seen[p>>6], 1<<(p&63)); old&(1<<(p&63)) == 0 {
+						if st.seenCount.Add(1) == meetable {
+							st.done.Store(true)
+						}
+					}
+				}
+			}
+			if blocked {
+				break // channel masked out this slot: nobody in the group meets
+			}
+		}
+		w := (uint(i32) >> 6) & 63
+		pw[w] |= 1 << (uint(i32) & 63)
+		nz |= 1 << w
+	}
+	for s := nz; s != 0; s &= s - 1 {
+		pw[bits.TrailingZeros64(s)&63] = 0
+	}
+}

@@ -79,10 +79,14 @@ func (e *Engine) runJointParallelEnv(horizon, workers int, env Environment, meet
 	if workers > (horizon+window-1)/window {
 		workers = (horizon + window - 1) / window
 	}
-	// Degenerate shapes (one worker, one window, per-slot reference
-	// mode, or a horizon whose slots overflow the int32 hit encoding)
-	// take the serial joint path, which is the same computation.
-	if workers <= 1 || horizon >= math.MaxInt32 || !blockEval.Load() {
+	// Fleets at or above the inverted crossover take the posting-list
+	// scan (even single-worker: the win is algorithmic, not parallel —
+	// see inverted.go). Below it, degenerate shapes (one worker, one
+	// window, per-slot reference mode, or a horizon whose slots
+	// overflow the int32 hit encoding) take the serial joint path,
+	// which is the same computation.
+	inverted := e.useInverted(horizon)
+	if !inverted && (workers <= 1 || horizon >= math.MaxInt32 || !blockEval.Load()) {
 		if blockEval.Load() {
 			e.runBlock(res, horizon, env, meetable)
 		} else {
@@ -90,7 +94,7 @@ func (e *Engine) runJointParallelEnv(horizon, workers int, env Environment, meet
 		}
 		return res
 	}
-	e.runJointSharded(res, horizon, workers, window, env, meetable)
+	e.runJointSharded(res, horizon, workers, window, env, meetable, inverted)
 	return res
 }
 
@@ -110,8 +114,10 @@ func (e *Engine) getHits(pairs int) []hit32 {
 // runJointSharded is the sharded scan proper. window must be a positive
 // multiple of blockLen; it and the meetable count are parameters
 // (rather than derived here) so tests can pin partition invariance
-// directly.
-func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env Environment, meetableCount int) {
+// directly. inverted selects the posting-list scan (scanShardInverted)
+// over the occupancy scan (scanShard); both honor the identical hit-
+// array and seen-bitset contracts, so the merge below is shared.
+func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env Environment, meetableCount int, inverted bool) {
 	n := len(e.agents)
 	pairs := n * (n - 1) / 2
 	meetable := int64(meetableCount)
@@ -130,6 +136,10 @@ func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env 
 	// the merge below recomputes exact minima from the per-worker
 	// arrays.
 	seen := make([]uint64, (pairs+63)/64)
+	var tmpl, full []uint64
+	if inverted {
+		tmpl, full = e.metSeed(horizon)
+	}
 	var seenCount atomic.Int64
 	var done atomic.Bool
 	var nextWin atomic.Int64
@@ -141,15 +151,30 @@ func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env 
 			defer wg.Done()
 			sc := e.getJointScratch()
 			defer e.jointPool.Put(sc)
+			var isc *invertedScratch
+			var st *shardState
+			if inverted {
+				isc = e.getInvertedScratch(tmpl, full)
+				defer e.invPool.Put(isc)
+			}
 			hits := e.getHits(pairs)
 			perWorker[w] = hits
+			if inverted {
+				st = &shardState{hits: hits, env: env, seen: seen,
+					seenCount: &seenCount, done: &done, meetable: meetable, solo: workers == 1}
+			}
 			for !done.Load() {
 				wi := int(nextWin.Add(1)) - 1
 				if wi >= windows {
 					return
 				}
 				lo := wi * window
-				e.scanShard(plan, sc, hits, lo, min(lo+window, horizon), env, seen, &seenCount, &done, meetable)
+				hi := min(lo+window, horizon)
+				if inverted {
+					e.scanShardInverted(plan, sc, isc, st, lo, hi)
+				} else {
+					e.scanShard(plan, sc, hits, lo, hi, env, seen, &seenCount, &done, meetable)
+				}
 			}
 		}(w)
 	}

@@ -49,11 +49,13 @@ func TestJointShardedPartitionInvariance(t *testing.T) {
 		want := renderMeetings(eng.RunEnv(horizon, env))
 		for _, workers := range []int{2, 3, 8} {
 			for _, window := range []int{blockLen, 3 * blockLen, 16 * blockLen} {
-				res := newResult(horizon, eng.names, eng.byName, eng.rowBase)
-				eng.runJointSharded(res, horizon, workers, window, env, eng.meetablePairs(horizon))
-				if got := renderMeetings(res); got != want {
-					t.Fatalf("trial %d workers=%d window=%d diverged:\n got %s\nwant %s",
-						trial, workers, window, got, want)
+				for _, inverted := range []bool{false, true} {
+					res := newResult(horizon, eng.names, eng.byName, eng.rowBase)
+					eng.runJointSharded(res, horizon, workers, window, env, eng.meetablePairs(horizon), inverted)
+					if got := renderMeetings(res); got != want {
+						t.Fatalf("trial %d workers=%d window=%d inverted=%v diverged:\n got %s\nwant %s",
+							trial, workers, window, inverted, got, want)
+					}
 				}
 			}
 		}

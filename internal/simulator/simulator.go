@@ -347,6 +347,23 @@ type Engine struct {
 	compiled []schedule.Schedule
 	dense    []*schedule.DenseTable
 
+	// metSeedTmpl/metSeedFull cache the inverted scan's met-row
+	// template for metSeedHorizon (see metSeed), metRowBase its
+	// triangular row offsets, and meetableN the meetablePairs count
+	// for meetableHorizon; also under mu.
+	metSeedHorizon  int
+	metSeedTmpl     []uint64
+	metSeedFull     []uint64
+	metRowBase      []int32
+	meetableHorizon int
+	meetableN       int
+	meetableOK      bool
+	// prefixDense holds horizon-prefix dense tables (see planFor) for
+	// agents without compiled tables, keyed by prefixHorizon; also
+	// under mu.
+	prefixDense   []*schedule.DenseTable
+	prefixHorizon int
+
 	// Scratch pools recycle the per-run working state (occupancy index,
 	// block buffers, pairwise found arrays) across runs: the sweeps that
 	// drive experiments call Run/RunParallel in tight loops, and this
@@ -355,6 +372,7 @@ type Engine struct {
 	jointPool sync.Pool // *jointScratch
 	pairPool  sync.Pool // *pairScratch
 	hitPool   sync.Pool // *[]hit32
+	invPool   sync.Pool // *invertedScratch
 }
 
 // NewEngine validates the agents (unique non-empty names, non-negative
@@ -507,8 +525,20 @@ type runPlan struct {
 	dense  []*schedule.DenseTable
 }
 
+// prefixBudget caps the memory the engine spends on horizon-prefix
+// dense tables (schedule.DensePrefix) for schedules whose period is
+// too long to compile: 4 bytes per agent per slot adds up at network
+// scale, so fleets over the budget keep the regenerate-per-block
+// fallback.
+const prefixBudget = 64 << 20
+
 // planFor builds the run plan for the given horizon, caching compiled
-// and dense tables on the engine under mu.
+// and dense tables on the engine under mu. Schedules out of reach of
+// CompileDense (period over twice the horizon) get a horizon-prefix
+// table instead when the fleet fits prefixBudget: the evaluation cost
+// every run pays per block collapses into a one-time materialization,
+// which dominates the joint scans' profile once the detection work
+// itself is cheap.
 func (e *Engine) planFor(horizon int) *runPlan {
 	p, _ := e.planPool.Get().(*runPlan)
 	if p == nil {
@@ -517,6 +547,7 @@ func (e *Engine) planFor(horizon int) *runPlan {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	missing := 0
 	for i := range e.agents {
 		s := e.schedForLocked(i, horizon)
 		p.scheds[i] = s
@@ -526,6 +557,28 @@ func (e *Engine) planFor(horizon int) *runPlan {
 			}
 		}
 		p.dense[i] = e.dense[i]
+		if p.dense[i] == nil {
+			missing++
+		}
+	}
+	if missing > 0 && missing*horizon*4 <= prefixBudget {
+		if e.prefixHorizon != horizon || e.prefixDense == nil {
+			e.prefixDense = make([]*schedule.DenseTable, len(e.agents))
+			e.prefixHorizon = horizon
+		}
+		var scratch []int
+		for i := range e.agents {
+			if p.dense[i] != nil {
+				continue
+			}
+			if e.prefixDense[i] == nil {
+				if scratch == nil {
+					scratch = make([]int, blockLen)
+				}
+				e.prefixDense[i] = schedule.DensePrefix(p.scheds[i], horizon, e.id32, scratch)
+			}
+			p.dense[i] = e.prefixDense[i]
+		}
 	}
 	return p
 }
@@ -536,6 +589,11 @@ func (e *Engine) planFor(horizon int) *runPlan {
 // early (under an Environment some meetable pairs may stay unmet, which
 // simply forfeits the early exit).
 func (e *Engine) meetablePairs(horizon int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.meetableOK && e.meetableHorizon == horizon {
+		return e.meetableN
+	}
 	count := 0
 	for i := range e.agents {
 		for j := i + 1; j < len(e.agents); j++ {
@@ -544,6 +602,9 @@ func (e *Engine) meetablePairs(horizon int) int {
 			}
 		}
 	}
+	// Agents are immutable after NewEngine, so the count depends only on
+	// the horizon; sweeps re-run the same horizon in tight loops.
+	e.meetableHorizon, e.meetableN, e.meetableOK = horizon, count, true
 	return count
 }
 
