@@ -9,7 +9,7 @@
 //	rvbench -parallel 4  # bound the sweep engine's worker pool
 //	rvbench -exp t1-asym # one experiment: t1-asym t1-sym figures thm1
 //	                     # thm3 sym beacon lb-ramsey lb-async oneround
-//	                     # multi network
+//	                     # multi network network-sparse
 //
 // Experiments run on the internal/sweep engine: reports are
 // byte-identical for a fixed -seed at any -parallel value (0 means one
@@ -35,7 +35,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rvbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (all, t1-asym, t1-sym, figures, thm1, thm3, sym, beacon, lb-ramsey, lb-async, oneround, multi, network)")
+	exp := fs.String("exp", "all", "experiment id (all, t1-asym, t1-sym, figures, thm1, thm3, sym, beacon, lb-ramsey, lb-async, oneround, multi, network, network-sparse)")
 	quick := fs.Bool("quick", false, "shrink sweeps to CI size")
 	seed := fs.Int64("seed", 1, "workload seed")
 	parallel := fs.Int("parallel", 0, "sweep workers (0 = one per CPU); results are identical at any value")
@@ -44,18 +44,19 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *parallel}
 	table := map[string]func(experiments.Config) *experiments.Report{
-		"t1-asym":   experiments.Table1Asymmetric,
-		"t1-sym":    experiments.Table1Symmetric,
-		"figures":   experiments.Figures,
-		"thm1":      experiments.Theorem1,
-		"thm3":      experiments.Theorem3,
-		"sym":       experiments.SymmetricWrapper,
-		"beacon":    experiments.Beacon,
-		"lb-ramsey": experiments.LowerBoundRamsey,
-		"lb-async":  experiments.LowerBoundAsync,
-		"oneround":  experiments.OneRound,
-		"multi":     experiments.MultiAgent,
-		"network":   experiments.Network,
+		"t1-asym":        experiments.Table1Asymmetric,
+		"t1-sym":         experiments.Table1Symmetric,
+		"figures":        experiments.Figures,
+		"thm1":           experiments.Theorem1,
+		"thm3":           experiments.Theorem3,
+		"sym":            experiments.SymmetricWrapper,
+		"beacon":         experiments.Beacon,
+		"lb-ramsey":      experiments.LowerBoundRamsey,
+		"lb-async":       experiments.LowerBoundAsync,
+		"oneround":       experiments.OneRound,
+		"multi":          experiments.MultiAgent,
+		"network":        experiments.Network,
+		"network-sparse": experiments.NetworkSparse,
 	}
 	if *exp == "all" {
 		for _, rep := range experiments.All(cfg) {

@@ -27,6 +27,7 @@ var goldenRuns = []struct {
 	{"preset-pu", []string{"-scenario", "pu", "-agents", "16", "-n", "32", "-horizon", "8192", "-seed", "11"}},
 	{"preset-churn-pu", []string{"-scenario", "churn-pu", "-agents", "16", "-n", "32", "-horizon", "8192", "-seed", "11"}},
 	{"preset-jammer", []string{"-scenario", "jammer", "-agents", "16", "-n", "32", "-horizon", "8192", "-seed", "11"}},
+	{"preset-sparse", []string{"-scenario", "sparse", "-agents", "64", "-n", "32", "-horizon", "8192", "-seed", "11"}},
 	{"preset-overrides", []string{"-scenario", "calm", "-agents", "12", "-n", "16", "-horizon", "4096", "-seed", "11", "-churn", "0.5", "-pu", "2"}},
 	{"explicit-agents", []string{"-n", "64", "-horizon", "500000", "-agent", "base=10,20,30", "-agent", "drone=20,40@25", "-agent", "sensor=30,40@90"}},
 }

@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -93,6 +94,7 @@ var scenarioPresets = map[string]string{
 	"pu":       "8 primary users each occupying a channel 50% of every 1024-slot window",
 	"churn-pu": "churn and primary users combined (the NETWORK experiment setting)",
 	"jammer":   "a wide-band jammer sweeping the universe, 64 slots per channel",
+	"sparse":   "churn-pu on a contact graph: √agents-side plane, radius 2.26 (≈16 neighbors each)",
 }
 
 func run(args []string, out io.Writer) error {
@@ -102,7 +104,7 @@ func run(args []string, out io.Writer) error {
 	horizon := fs.Int("horizon", 1_000_000, "simulation slots")
 	seed := fs.Uint64("seed", 1, "seed for randomized algorithms / beacon / scenario")
 	parallel := fs.Int("parallel", 0, "pairwise engine workers (0 = one per CPU, 1 = serial joint engine)")
-	scenarioName := fs.String("scenario", "", "run a generated fleet scenario: calm, churn, pu, churn-pu, jammer")
+	scenarioName := fs.String("scenario", "", "run a generated fleet scenario: calm, churn, pu, churn-pu, jammer, sparse")
 	fleetSize := fs.Int("agents", 64, "fleet size in scenario mode")
 	churn := fs.Float64("churn", -1, "scenario mode: override leave fraction, in [0,1]")
 	pu := fs.Int("pu", -1, "scenario mode: override primary-user count (≥ 0)")
@@ -116,7 +118,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(o, "generated fleet scenario (deterministic from -seed):\n")
 		fmt.Fprintf(o, "  rvsim -scenario churn-pu -agents 256 -n 128 -horizon 65536 -seed 3\n")
 		fmt.Fprintf(o, "  rvsim -scenario jammer -agents 64 -churn 0.5 -pu 4\n\npresets:\n")
-		for _, name := range []string{"calm", "churn", "pu", "churn-pu", "jammer"} {
+		for _, name := range []string{"calm", "churn", "pu", "churn-pu", "jammer", "sparse"} {
 			fmt.Fprintf(o, "  %-9s %s\n", name, scenarioPresets[name])
 		}
 		fmt.Fprintf(o, "\nflags:\n")
@@ -188,7 +190,7 @@ func run(args []string, out io.Writer) error {
 // command line reproduces the same report at any -parallel value.
 func runScenario(out io.Writer, preset, alg string, n, agents, horizon, parallel int, seed uint64, churn float64, pu int) error {
 	if _, ok := scenarioPresets[preset]; !ok {
-		return fmt.Errorf("unknown scenario %q (want calm, churn, pu, churn-pu, jammer)", preset)
+		return fmt.Errorf("unknown scenario %q (want calm, churn, pu, churn-pu, jammer, sparse)", preset)
 	}
 	if agents < 2 {
 		return fmt.Errorf("-agents %d: need at least 2", agents)
@@ -210,15 +212,19 @@ func runScenario(out io.Writer, preset, alg string, n, agents, horizon, parallel
 		Horizon: horizon,
 	}
 	switch preset {
-	case "churn", "churn-pu":
+	case "churn", "churn-pu", "sparse":
 		sc.Churn = rendezvous.Churn{WakeSpread: 2000, LeaveFrac: 0.25, MinLife: max(1, horizon/4), MaxLife: horizon}
 	}
 	switch preset {
-	case "pu", "churn-pu":
+	case "pu", "churn-pu", "sparse":
 		sc.PU = rendezvous.PrimaryUsers{Count: 8, Window: 1024, OnFrac: 0.5}
 	}
 	if preset == "jammer" {
 		sc.Jammer = rendezvous.Jammer{Dwell: 64}
+	}
+	if preset == "sparse" {
+		// Constant density: ~1 agent per unit area, mean degree ≈ π·r².
+		sc.Grid = rendezvous.Grid{Side: math.Sqrt(float64(agents)), Radius: 2.26}
 	}
 	if churn >= 0 {
 		sc.Churn.LeaveFrac = churn
@@ -240,8 +246,19 @@ func runScenario(out io.Writer, preset, alg string, n, agents, horizon, parallel
 	if err != nil {
 		return err
 	}
-	cov := rendezvous.Summarize(res, fleet, horizon)
+	// The contact-graph summary walks only the in-range edges; at
+	// network scale the all-pairs Summarize loop would dominate the run.
+	graph, err := sc.ContactGraph()
+	if err != nil {
+		return err
+	}
+	cov := rendezvous.SummarizeContact(res, fleet, horizon, graph)
 	fmt.Fprintf(out, "%s  algorithm=%s\n\n", sc, alg)
+	if graph != nil {
+		pairs := agents * (agents - 1) / 2
+		fmt.Fprintf(out, "contact edges     %d of %d pairs (%.0fx candidate reduction)\n",
+			graph.Edges(), pairs, float64(pairs)/float64(max(1, graph.Edges())))
+	}
 	fmt.Fprintf(out, "eligible pairs    %d (channel sets overlap, lifetimes intersect)\n", cov.EligiblePairs)
 	fmt.Fprintf(out, "pairs met         %d (%.1f%%)\n", cov.MetPairs, 100*cov.MetFrac())
 	fmt.Fprintf(out, "mean TTR          %.0f slots\n", cov.MeanTTR)

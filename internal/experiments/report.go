@@ -97,6 +97,7 @@ func All(cfg Config) []*Report {
 		OneRound(cfg),
 		MultiAgent(cfg),
 		Network(cfg),
+		NetworkSparse(cfg),
 	}
 }
 

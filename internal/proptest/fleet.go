@@ -58,7 +58,29 @@ func GenFleetCase(rng *rand.Rand) FleetCase {
 	if rng.Intn(3) == 0 {
 		sc.Jammer = scenario.Jammer{Dwell: 1 + rng.Intn(64), Stride: rng.Intn(3)}
 	}
+	if rng.Intn(3) == 0 {
+		sc.Grid = genGrid(rng)
+	}
 	return FleetCase{Alg: FleetAlgs[rng.Intn(len(FleetAlgs))], Sc: sc}
+}
+
+// genGrid draws a contact grid a few radii across: small enough that
+// the fleet stays connected often, large enough that most draws have
+// several cells and a mix of in-range and out-of-range pairs.
+func genGrid(rng *rand.Rand) scenario.Grid {
+	side := 2 + rng.Float64()*4
+	return scenario.Grid{Side: side, Radius: side * (0.25 + rng.Float64()*0.5)}
+}
+
+// GenContactFleetCase is GenFleetCase with a contact grid always
+// present, so the contact-sparse clauses are exercised every iteration
+// rather than on the one-in-three draw.
+func GenContactFleetCase(rng *rand.Rand) FleetCase {
+	c := GenFleetCase(rng)
+	if c.Sc.Grid == (scenario.Grid{}) {
+		c.Sc.Grid = genGrid(rng)
+	}
+	return c
 }
 
 // Build derives the fleet and environment.
@@ -77,7 +99,9 @@ func (c FleetCase) Build() ([]simulator.Agent, simulator.Environment, error) {
 // dynamics the scenario has. The sharded path runs at several worker
 // counts because each count induces a different window partition of the
 // time axis — partition invariance is exactly the property its exact-
-// decomposition argument rests on.
+// decomposition argument rests on. When the scenario carries a contact
+// grid, the contact-sparse engine must additionally reproduce the
+// oracle restricted to in-range pairs, under both pair-state layouts.
 func CheckFleetEngines(c FleetCase) error {
 	agents, env, err := c.Build()
 	if err != nil {
@@ -115,6 +139,52 @@ func CheckFleetEngines(c FleetCase) error {
 	for _, workers := range []int{2, 5} {
 		if err := sameMeetings(want, ResultMeetings(eng.RunJointParallelEnv(c.Sc.Horizon, workers, env))); err != nil {
 			return fmt.Errorf("inverted-index joint engine (workers=%d) vs oracle: %w", workers, err)
+		}
+	}
+	simulator.SetInvertedFloor(prevFloor)
+	return checkContactEngine(c, agents, env, want)
+}
+
+// checkContactEngine is the contact-sparse clause of CheckFleetEngines:
+// for gridded scenarios the contact engine must reproduce the
+// brute-force oracle filtered to in-range pairs — exactly those, no
+// others — under both pair-state layouts (dense triangular with topo
+// filter, and contact-edge CSR), serially and at the partition-inducing
+// worker counts.
+func checkContactEngine(c FleetCase, agents []simulator.Agent, env simulator.Environment, want map[[2]string]simulator.Meeting) error {
+	graph, err := c.Sc.ContactGraph()
+	if err != nil {
+		return fmt.Errorf("contact graph: %w", err)
+	}
+	if graph == nil {
+		return nil
+	}
+	// sc.Build returns agents in derivation order, the same order the
+	// graph indexes positions by — so agents[i] sits at graph node i.
+	idx := make(map[string]int, len(agents))
+	for i, a := range agents {
+		idx[a.Name] = i
+	}
+	filtered := make(map[[2]string]simulator.Meeting, len(want))
+	for key, m := range want {
+		if graph.InRange(idx[key[0]], idx[key[1]]) {
+			filtered[key] = m
+		}
+	}
+	for _, floor := range []int{0, 1 << 30} {
+		prev := simulator.SetSparseStateFloor(floor)
+		ceng, cerr := simulator.NewEngineContact(agents, graph.Topology())
+		simulator.SetSparseStateFloor(prev)
+		if cerr != nil {
+			return fmt.Errorf("contact engine (floor=%d): %w", floor, cerr)
+		}
+		if err := sameMeetings(filtered, ResultMeetings(ceng.RunEnv(c.Sc.Horizon, env))); err != nil {
+			return fmt.Errorf("contact engine (floor=%d) vs in-range oracle: %w", floor, err)
+		}
+		for _, workers := range []int{2, 5} {
+			if err := sameMeetings(filtered, ResultMeetings(ceng.RunJointParallelEnv(c.Sc.Horizon, workers, env))); err != nil {
+				return fmt.Errorf("contact engine (floor=%d, workers=%d) vs in-range oracle: %w", floor, workers, err)
+			}
 		}
 	}
 	return nil
@@ -344,8 +414,9 @@ func sameMeetings(want, got map[[2]string]simulator.Meeting) error {
 }
 
 // ShrinkFleet greedily reduces a failing fleet case while fails keeps
-// failing: fewer agents, dynamics zeroed one subsystem at a time,
-// shorter horizon, smaller channel sets, smaller universe.
+// failing: fewer agents, dynamics zeroed one subsystem at a time, the
+// contact grid dropped, shorter horizon, smaller channel sets, smaller
+// universe.
 func ShrinkFleet(c FleetCase, fails func(FleetCase) bool) FleetCase {
 	for improved := true; improved; {
 		improved = false
@@ -374,6 +445,15 @@ func ShrinkFleet(c FleetCase, fails func(FleetCase) bool) FleetCase {
 		if c.Sc.Jammer.Dwell != 0 || c.Sc.Jammer.Stride != 0 || len(c.Sc.Jammer.Channels) > 0 {
 			cand := c
 			cand.Sc.Jammer = scenario.Jammer{}
+			if fails(cand) {
+				c, improved = cand, true
+			}
+		}
+		if c.Sc.Grid != (scenario.Grid{}) {
+			// Drop the cells: a failure that survives without the contact
+			// grid is a plain engine bug, not a topology one.
+			cand := c
+			cand.Sc.Grid = scenario.Grid{}
 			if fails(cand) {
 				c, improved = cand, true
 			}

@@ -63,6 +63,14 @@ func TestPropEngineVsOracle(t *testing.T) {
 	ForAll(t, Iters(40), GenFleetCase, CheckFleetEngines, ShrinkFleet)
 }
 
+// TestPropContactEngines: same oracle check with a contact grid on
+// every draw, so the contact-sparse clause (both pair-state layouts,
+// in-range-filtered reference) runs each iteration rather than on the
+// generator's one-in-three grid draw.
+func TestPropContactEngines(t *testing.T) {
+	ForAll(t, Iters(30), GenContactFleetCase, CheckFleetEngines, ShrinkFleet)
+}
+
 // TestPropAgentPermutation: engine results are invariant under the
 // order agents are supplied.
 func TestPropAgentPermutation(t *testing.T) {

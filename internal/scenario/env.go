@@ -128,8 +128,11 @@ func (c Coverage) MetFrac() float64 {
 }
 
 // Summarize computes Coverage for a finished run. Eligibility mirrors
-// the engine's pair pruning: complete hop sets intersect and both
-// activity windows overlap below the horizon.
+// the engine's pair pruning: complete hop sets intersect, both
+// activity windows overlap below the horizon, and — for contact runs —
+// the pair is within contact range. The loop is all-pairs; scenarios
+// with a Grid should prefer SummarizeContact, which walks only the
+// contact edges.
 func Summarize(res *simulator.Result, agents []simulator.Agent, horizon int) Coverage {
 	cov := Coverage{Agents: len(agents)}
 	sets := make([][]int, len(agents))
@@ -140,6 +143,9 @@ func Summarize(res *simulator.Result, agents []simulator.Agent, horizon int) Cov
 	for i := range agents {
 		for j := i + 1; j < len(agents); j++ {
 			if !simulator.Coexist(agents[i], agents[j], horizon) || !simulator.SetsIntersect(sets[i], sets[j]) {
+				continue
+			}
+			if !res.PairInRange(agents[i].Name, agents[j].Name) {
 				continue
 			}
 			cov.EligiblePairs++

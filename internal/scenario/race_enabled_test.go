@@ -1,0 +1,8 @@
+//go:build race
+
+package scenario
+
+// raceEnabled reports whether the race detector is compiled in; the
+// 100k-agent smoke run skips under it (5-20× slowdown blows the CI
+// smoke budget without adding coverage the small fleets lack).
+const raceEnabled = true

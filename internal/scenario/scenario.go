@@ -33,6 +33,7 @@ const (
 	streamPUChan = 303
 	streamPUOn   = 305
 	streamAlg    = 404
+	streamPos    = 505
 )
 
 // mix derives a sub-seed from the scenario seed and a stream tag plus
@@ -92,6 +93,10 @@ type Scenario struct {
 	Churn  Churn
 	PU     PrimaryUsers
 	Jammer Jammer
+	// Grid places the fleet on a plane and bounds rendezvous to
+	// in-range pairs (see Grid); the zero value keeps every pair in
+	// range, exactly the pre-contact behavior.
+	Grid Grid
 }
 
 // String renders the scenario parameters on one line.
@@ -115,6 +120,9 @@ func (sc Scenario) String() string {
 	}
 	if sc.Jammer.Dwell > 0 {
 		base += fmt.Sprintf(" jammer{dwell=%d}", sc.Jammer.Dwell)
+	}
+	if sc.Grid.enabled() {
+		base += fmt.Sprintf(" grid{side=%g radius=%g}", sc.Grid.Side, sc.Grid.Radius)
 	}
 	return base
 }
@@ -166,6 +174,9 @@ func (sc Scenario) Validate() error {
 		if _, err := schedule.ValidateChannels(sc.N, sc.Jammer.Channels); err != nil {
 			return fmt.Errorf("scenario: jammer channels: %w", err)
 		}
+	}
+	if err := sc.Grid.validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -227,14 +238,15 @@ func agentName(a int) string { return fmt.Sprintf("a%d", a) }
 // Run builds the fleet and runs it with the given worker count (≤ 0
 // means GOMAXPROCS). The engine picks its decomposition by fleet size —
 // the pairwise scan for small fleets, the time-sharded joint scan once
-// the meetable-pair count crosses over — and both are exact, so the
-// result is byte-identical at any worker count either way.
+// the meetable-pair count crosses over, the contact-sparse scan when
+// the scenario has a Grid — and all of them are exact, so the result
+// is byte-identical at any worker count either way.
 func (sc Scenario) Run(build Builder, workers int) (*simulator.Result, []simulator.Agent, error) {
 	agents, env, err := sc.Build(build)
 	if err != nil {
 		return nil, nil, err
 	}
-	eng, err := simulator.NewEngine(agents)
+	eng, err := simulator.NewEngineContact(agents, sc.contactTopology())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -41,11 +41,22 @@ type PostingIndex struct {
 const MaxPostingMembers = 64 * 64
 
 // NewPostingIndex returns an index over the given universe sizes.
-// members must not exceed MaxPostingMembers.
+// members must not exceed MaxPostingMembers; consumers that intersect
+// groups through a single register-resident 64-word bitset rely on
+// that bound. Use NewPostingIndexWide for larger member universes.
 func NewPostingIndex(channels, members int) *PostingIndex {
 	if members > MaxPostingMembers {
-		panic("schedule: PostingIndex member universe exceeds MaxPostingMembers")
+		panic("schedule: PostingIndex member universe exceeds MaxPostingMembers (use NewPostingIndexWide)")
 	}
+	return NewPostingIndexWide(channels, members)
+}
+
+// NewPostingIndexWide is NewPostingIndex without the member cap: the
+// gather itself is O(members) whatever the universe size — the cap
+// exists only for consumers that mirror a group as one fixed 64-word
+// bitset. Consumers of a wide index must shard their group bitsets
+// (64×64-word segments) or walk member ids directly.
+func NewPostingIndexWide(channels, members int) *PostingIndex {
 	wpm := (members + 63) / 64
 	if wpm == 0 {
 		wpm = 1

@@ -1,0 +1,132 @@
+package simulator
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pairwise/joint crossover calibration.
+//
+// RunParallelEnv has two exact decompositions to choose from: the
+// pairwise scan (each meetable pair scanned independently, stopping at
+// its own first meeting) and the time-sharded joint engine (occupancy
+// or posting scans over the whole fleet at once). Both produce
+// byte-identical Results, so the choice is purely a performance one —
+// and the winner depends on fleet shape, channel count, environment
+// hostility, and the host. A single hand-picked pair count (16,384,
+// measured on one machine) mis-routes the band around it on any other.
+//
+// The scheme here is the same ski-rental bet SweepOffsets makes about
+// compiling schedules: rent the incremental choice (pairwise, which
+// wins when pairs are few) until the cumulative rent would have paid
+// for finding out whether buying (the joint engine) is cheaper, then
+// probe the joint path once and stick with whichever measured faster.
+// Fleets clearly below the band always rent, fleets clearly above it
+// always buy, and the decision is per-engine: the sweeps that dominate
+// experiment workloads re-run the same engine shape in tight loops, so
+// two rented runs plus one probe amortize to noise.
+
+// jointCrossover, when positive, pins the meetable-pair count above
+// which RunParallelEnv takes the joint engine — the pre-calibration
+// behavior. Zero (the default) selects per-engine ski-rental
+// calibration inside [autoCrossLo, autoCrossHi].
+var jointCrossover atomic.Int64
+
+// SetJointCrossover pins the pairwise→joint crossover to an explicit
+// meetable-pair count, returning the previous setting (0 = automatic
+// calibration). Explicit values bypass calibration entirely: a run
+// goes joint iff its meetable-pair count exceeds the pin. Both paths
+// compute byte-identical Results, so the knob is purely performance.
+func SetJointCrossover(pairs int) (previous int) {
+	return int(jointCrossover.Swap(int64(pairs)))
+}
+
+const (
+	// autoCrossLo/Hi bound the calibration band: below lo the pairwise
+	// scan wins on every host we have measured, above hi the joint
+	// engine's O(agents)-per-slot scaling wins decisively. hi is the
+	// old hand-picked constant, so fleets above it behave exactly as
+	// before; the band is where the constant was a guess.
+	autoCrossLo = 1 << 12
+	autoCrossHi = 1 << 14
+	// calRentRuns is how many banded runs rent the pairwise path (and
+	// time it) before the engine buys one joint probe. Two rents give
+	// the mean a second sample to smooth scheduler noise while keeping
+	// the worst case — joint would have won — bounded at two runs of
+	// regret, the classic ski-rental balance.
+	calRentRuns = 2
+)
+
+// jointDecision is jointChoice's verdict for one run.
+type jointDecision int
+
+const (
+	choosePairwise      jointDecision = iota // untimed pairwise run
+	choosePairwiseTimed                      // pairwise, accumulate rent
+	chooseJoint                              // untimed joint run
+	chooseJointProbe                         // joint, settle the bet
+)
+
+// crossoverCal is one engine's calibration state. A mutex, not
+// atomics: it is touched once per run, never per slot.
+type crossoverCal struct {
+	mu       sync.Mutex
+	pairNS   int64 // cumulative rented pairwise wall time
+	pairRuns int64
+	prefer   jointDecision // sticky verdict; choosePairwise/chooseJoint once set
+	decided  bool
+}
+
+// jointChoice picks the decomposition for a run with the given
+// meetable-pair count.
+func (e *Engine) jointChoice(meetable int) jointDecision {
+	if pin := jointCrossover.Load(); pin > 0 {
+		if int64(meetable) > pin {
+			return chooseJoint
+		}
+		return choosePairwise
+	}
+	if meetable > autoCrossHi {
+		return chooseJoint
+	}
+	if meetable < autoCrossLo {
+		return choosePairwise
+	}
+	c := &e.cal
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.decided {
+		return c.prefer
+	}
+	if c.pairRuns < calRentRuns {
+		return choosePairwiseTimed
+	}
+	return chooseJointProbe
+}
+
+// notePairwise accumulates one rented pairwise run.
+func (c *crossoverCal) notePairwise(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pairNS += int64(d)
+	c.pairRuns++
+}
+
+// noteJoint settles the bet: the probe's wall time against the rented
+// pairwise mean, verdict sticky for the engine's lifetime (fleet and
+// horizon shape are fixed per engine in every sweep workload; a tie
+// keeps pairwise, the incumbent).
+func (c *crossoverCal) noteJoint(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.decided {
+		return
+	}
+	c.decided = true
+	if c.pairRuns > 0 && int64(d) < c.pairNS/c.pairRuns {
+		c.prefer = chooseJoint
+	} else {
+		c.prefer = choosePairwise
+	}
+}

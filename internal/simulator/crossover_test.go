@@ -1,0 +1,128 @@
+package simulator
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// calibrationFleet builds a fleet whose every pair is meetable (shared
+// channels, simultaneous wakes), so the meetable count is exactly
+// n(n−1)/2 and tests can place it precisely relative to the
+// calibration band.
+func calibrationFleet(t *testing.T, rng *rand.Rand, agents int) []Agent {
+	t.Helper()
+	fleet := make([]Agent, agents)
+	for i := range fleet {
+		seq := []int{1 + rng.Intn(4), 1 + rng.Intn(4), 1 + rng.Intn(4)}
+		fleet[i] = Agent{
+			Name:  "c" + string(rune('0'+i/100)) + string(rune('0'+i/10%10)) + string(rune('0'+i%10)),
+			Sched: mustCyclic(t, seq),
+		}
+	}
+	return fleet
+}
+
+// TestSetJointCrossoverPin pins the explicit override: a pinned
+// crossover bypasses calibration entirely, routing joint iff the
+// meetable count exceeds the pin, with byte-identical Results either
+// way.
+func TestSetJointCrossoverPin(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	fleet := calibrationFleet(t, rng, 24) // 276 meetable pairs
+	eng, err := NewEngine(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 700
+	want := renderMeetings(eng.RunEnv(horizon, nil))
+
+	prev := SetJointCrossover(1)
+	defer SetJointCrossover(prev)
+	if got := renderMeetings(eng.RunParallelEnv(horizon, 2, nil)); got != want {
+		t.Fatalf("pinned-low run diverged: got %s want %s", got, want)
+	}
+	if r := eng.LastRoute(); r == RoutePairwise || r == RouteNone {
+		t.Fatalf("pin=1 with 276 meetable pairs routed %v, want a joint route", r)
+	}
+
+	SetJointCrossover(1 << 30)
+	if got := renderMeetings(eng.RunParallelEnv(horizon, 2, nil)); got != want {
+		t.Fatalf("pinned-high run diverged: got %s want %s", got, want)
+	}
+	if r := eng.LastRoute(); r != RoutePairwise {
+		t.Fatalf("pin=1<<30 routed %v, want pairwise", r)
+	}
+}
+
+// TestCrossoverCalibrationSequence drives a fleet whose meetable count
+// lands inside [autoCrossLo, autoCrossHi] through the ski-rental
+// sequence: calRentRuns timed pairwise rents, one joint probe, then a
+// sticky verdict — with every run producing the identical Result
+// (routing is performance-only).
+func TestCrossoverCalibrationSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	fleet := calibrationFleet(t, rng, 128) // 8128 meetable pairs, inside the band
+	eng, err := NewEngine(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 600
+	if m := eng.meetablePairs(horizon); m <= autoCrossLo || m > autoCrossHi {
+		t.Fatalf("fleet's %d meetable pairs missed the calibration band (%d, %d]", m, autoCrossLo, autoCrossHi)
+	}
+	if pin := SetJointCrossover(0); pin != 0 {
+		defer SetJointCrossover(pin)
+	}
+	want := renderMeetings(eng.RunEnv(horizon, nil))
+	routes := make([]Route, 0, 6)
+	for run := 0; run < 6; run++ {
+		if got := renderMeetings(eng.RunParallelEnv(horizon, 2, nil)); got != want {
+			t.Fatalf("run %d diverged: got %s want %s", run, got, want)
+		}
+		routes = append(routes, eng.LastRoute())
+	}
+	for run := 0; run < calRentRuns; run++ {
+		if routes[run] != RoutePairwise {
+			t.Fatalf("rent run %d routed %v, want pairwise (routes %v)", run, routes[run], routes)
+		}
+	}
+	// The probe takes the joint path; with 128 agents below the
+	// inverted floor and multiple workers that is the sharded scan.
+	if routes[calRentRuns] != RouteSharded {
+		t.Fatalf("probe run routed %v, want sharded (routes %v)", routes[calRentRuns], routes)
+	}
+	// The verdict is timing-dependent, but it must be sticky: every run
+	// after the probe takes the same path, one of the two candidates.
+	verdict := routes[calRentRuns+1]
+	if verdict != RoutePairwise && verdict != RouteSharded {
+		t.Fatalf("post-probe run routed %v (routes %v)", verdict, routes)
+	}
+	for _, r := range routes[calRentRuns+1:] {
+		if r != verdict {
+			t.Fatalf("verdict did not stick: routes %v", routes)
+		}
+	}
+}
+
+// TestJointChoiceBandEdges pins the band boundaries: fleets strictly
+// below autoCrossLo never calibrate (always pairwise) and fleets above
+// autoCrossHi never calibrate (always joint).
+func TestJointChoiceBandEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	eng, err := NewEngine(calibrationFleet(t, rng, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pin := SetJointCrossover(0); pin != 0 {
+		defer SetJointCrossover(pin)
+	}
+	if d := eng.jointChoice(autoCrossLo - 1); d != choosePairwise {
+		t.Fatalf("below-band choice %v, want pairwise", d)
+	}
+	if d := eng.jointChoice(autoCrossHi + 1); d != chooseJoint {
+		t.Fatalf("above-band choice %v, want joint", d)
+	}
+	if d := eng.jointChoice(autoCrossLo); d != choosePairwiseTimed {
+		t.Fatalf("first banded choice %v, want timed pairwise", d)
+	}
+}

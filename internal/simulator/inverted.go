@@ -74,13 +74,53 @@ func SetInvertedFloor(agents int) (previous int) {
 	return int(invertedFloor.Swap(int64(agents)))
 }
 
-// useInverted reports whether the joint scans should take the
-// inverted-index path: block evaluation on, a fleet at or above the
-// crossover but within the posting index's member universe, and a
-// horizon whose slot keys fit the int32 stamps.
-func (e *Engine) useInverted(horizon int) bool {
-	return blockEval.Load() && int64(len(e.agents)) >= invertedFloor.Load() &&
-		len(e.agents) <= schedule.MaxPostingMembers && horizon < math.MaxInt32
+// invertedWideBudget caps the per-worker met-template memory the wide
+// posting scan may spend: the triangular template is O(agents²/128)
+// words, which passes ~256 MB near 65k agents — past that the dense
+// pair state is the real wall (that is what contact topologies are
+// for) and the sharded occupancy scan is no worse.
+const invertedWideBudget = 1 << 28
+
+// wideMemberLimit caps the member universe the wide posting scan
+// accepts: past it each member's summary walk (one segNZ word per 4,096
+// members) stops being noise against the candidate work it prunes, and
+// the met template blows the memory budget long before that anyway.
+const wideMemberLimit = 64 * 64 * 64
+
+// metTemplateBytes sizes the triangular met template at fleet size n
+// without building it: rows total Σ(i>>6 + 1) words.
+func metTemplateBytes(n int) int64 {
+	q := int64(n) >> 6
+	words := 64*q*(q-1)/2 + (int64(n)-q<<6)*q + int64(n)
+	return words * 8
+}
+
+// scanKindFor picks the sharded scan for a run: the cell-filtered
+// sparse scan whenever the pair state is contact-edge CSR, a posting
+// scan for dense fleets at or above the inverted floor (the wide
+// variant past the register-resident member cap, while the met
+// template fits invertedWideBudget), and the occupancy scan otherwise.
+// Per-slot reference mode and horizons whose slot keys overflow the
+// int32 stamps force the occupancy path, whose serial fallbacks handle
+// them.
+func (e *Engine) scanKindFor(horizon int) scanKind {
+	if !blockEval.Load() || horizon >= math.MaxInt32 {
+		return scanOccupancy
+	}
+	if e.ps.rowBase == nil {
+		return scanSparse
+	}
+	n := len(e.agents)
+	if int64(n) < invertedFloor.Load() {
+		return scanOccupancy
+	}
+	if n <= schedule.MaxPostingMembers {
+		return scanInverted
+	}
+	if n <= wideMemberLimit && metTemplateBytes(n) <= invertedWideBudget {
+		return scanInvertedWide
+	}
+	return scanOccupancy
 }
 
 // metBase returns the triangular met-row offsets: row i occupies
@@ -111,11 +151,14 @@ func (e *Engine) metBase() []int32 {
 // engine. Row i pre-marks the diagonal, the bits of its last word
 // above i (ids that can never appear in a posting list i detects
 // against), and every earlier agent j with which i can never meet
-// within the horizon (disjoint hop sets or non-overlapping activity
-// windows). Seeding unmeetable pairs is what lets saturation pruning
-// converge: a row word goes all-ones exactly when every agent in it
-// has either met i or never can, at which point no arrival ever looks
-// at it again.
+// within the horizon (disjoint hop sets, non-overlapping activity
+// windows, or out of contact range). Seeding unmeetable pairs is what
+// lets saturation pruning converge: a row word goes all-ones exactly
+// when every agent in it has either met i or never can, at which point
+// no arrival ever looks at it again. Fleets past the posting member
+// cap get no full-word summary — rowFull packs one bit per row word,
+// which only addresses rows up to 64 words — so the wide scan runs
+// without saturation pruning.
 func (e *Engine) metSeed(horizon int) (tmpl, full []uint64) {
 	base := e.metBase()
 	e.mu.Lock()
@@ -124,6 +167,7 @@ func (e *Engine) metSeed(horizon int) (tmpl, full []uint64) {
 		return e.metSeedTmpl, e.metSeedFull
 	}
 	n := len(e.agents)
+	wide := n > schedule.MaxPostingMembers
 	tmpl = make([]uint64, base[n])
 	full = make([]uint64, n)
 	for i := 0; i < n; i++ {
@@ -134,6 +178,9 @@ func (e *Engine) metSeed(horizon int) (tmpl, full []uint64) {
 			if !e.pairMeetable(j, i, horizon) {
 				row[j>>6] |= 1 << (j & 63)
 			}
+		}
+		if wide {
+			continue
 		}
 		for w := 0; w <= iw; w++ {
 			if row[w] == ^uint64(0) {
@@ -163,18 +210,24 @@ type invertedScratch struct {
 	// ids is the slot-major transpose of the block buffers:
 	// ids[off*n+i] is agent i's dense channel id at block offset off.
 	ids []int32
+	// pwWide/segWide replace scanGroup's register-resident posting
+	// bitset for fleets past the member cap: ceil(n/64) posting words
+	// with a 64-words-per-bit nonzero summary (see scanGroupWide). Nil
+	// for fleets within the cap.
+	pwWide, segWide []uint64
 }
 
 // getInvertedScratch returns a scratch seeded for a fresh scan: met
 // rows copied from tmpl, full-word masks from full. The posting gather
 // is self-cleaning (every slot ends in ResetSlot), so pooled reuse
-// needs no posting reset.
-func (e *Engine) getInvertedScratch(tmpl, full []uint64) *invertedScratch {
+// needs no posting reset; scanGroupWide likewise clears its posting
+// words before returning.
+func (e *Engine) getInvertedScratch(tmpl, full []uint64, wide bool) *invertedScratch {
 	sc, _ := e.invPool.Get().(*invertedScratch)
 	n := len(e.agents)
 	if sc == nil {
 		sc = &invertedScratch{
-			post:    schedule.NewPostingIndex(e.chIdx.count, n),
+			post:    schedule.NewPostingIndexWide(e.chIdx.count, n),
 			met:     make([]uint64, len(tmpl)),
 			rowFull: make([]uint64, n),
 			from:    make([]int32, n),
@@ -182,30 +235,35 @@ func (e *Engine) getInvertedScratch(tmpl, full []uint64) *invertedScratch {
 			ids:     make([]int32, n*blockLen),
 		}
 	}
+	if wide && sc.pwWide == nil {
+		wpm := (n + 63) / 64
+		sc.pwWide = make([]uint64, wpm)
+		sc.segWide = make([]uint64, (wpm+63)/64)
+	}
 	copy(sc.met, tmpl)
 	copy(sc.rowFull, full)
 	return sc
 }
 
 // fillBlockWindowClamped is fillBlockWindow plus materialized activity
-// clamps: isc.from/to receive each agent's active offset range within
+// clamps: from/to receive each agent's active offset range within
 // [base, base+m) (empty range for agents inactive across the whole
 // block), so the scan tests activity with two dense int32 compares
 // instead of loading Agent structs per slot.
-func (e *Engine) fillBlockWindowClamped(p *runPlan, sc *jointScratch, isc *invertedScratch, base, m int) {
+func (e *Engine) fillBlockWindowClamped(p *runPlan, sc *jointScratch, from, to []int32, base, m int) {
 	for i := range e.agents {
 		a := &e.agents[i]
 		if a.Wake >= base+m || (a.Leave > 0 && a.Leave <= base) {
-			isc.from[i], isc.to[i] = 0, 0
+			from[i], to[i] = 0, 0
 			continue
 		}
-		from := max(0, a.Wake-base)
-		to := m
+		lo := max(0, a.Wake-base)
+		hi := m
 		if a.Leave > 0 && a.Leave < base+m {
-			to = a.Leave - base
+			hi = a.Leave - base
 		}
-		isc.from[i], isc.to[i] = int32(from), int32(to)
-		schedule.FillBlockDense(p.scheds[i], p.dense[i], sc.bufs[i][from:to], base+from-a.Wake, e.id32, sc.raw)
+		from[i], to[i] = int32(lo), int32(hi)
+		schedule.FillBlockDense(p.scheds[i], p.dense[i], sc.bufs[i][lo:hi], base+lo-a.Wake, e.id32, sc.raw)
 	}
 }
 
@@ -256,8 +314,11 @@ type shardState struct {
 // pair's first hit within this worker's windows into st.hits and
 // feeding the shared cancellation state. The hit array, seen-bitset,
 // and ordering contract are identical to scanShard's, so the sharded
-// merge consumes either scan's output interchangeably.
-func (e *Engine) scanShardInverted(plan *runPlan, sc *jointScratch, isc *invertedScratch, st *shardState, lo, hi int) {
+// merge consumes either scan's output interchangeably. wide selects
+// scanGroupWide's heap bitsets over scanGroup's register array — a
+// routing input (not derived from the fleet here) so tests can force
+// the wide kernel on small fleets.
+func (e *Engine) scanShardInverted(plan *runPlan, sc *jointScratch, isc *invertedScratch, st *shardState, lo, hi int, wide bool) {
 	n := len(e.agents)
 	rowBase := e.rowBase
 	mbase := e.metRowBase[:n] // built by metSeed before workers spawn
@@ -276,6 +337,7 @@ func (e *Engine) scanShardInverted(plan *runPlan, sc *jointScratch, isc *inverte
 	// pw is the current group's posting bitset: it never leaves the
 	// stack because groups are processed to completion one at a time,
 	// and scanGroup clears its own nonzero words before returning.
+	// Fleets past the member cap use the heap-resident pwWide instead.
 	var pw [schedule.MaxPostingMembers / 64]uint64
 	gcx := groupScanCtx{
 		rowBase: rowBase, mbase: mbase, union: union,
@@ -285,7 +347,7 @@ func (e *Engine) scanShardInverted(plan *runPlan, sc *jointScratch, isc *inverte
 	}
 	for base := lo; base < hi; base += blockLen {
 		m := min(blockLen, hi-base)
-		e.fillBlockWindowClamped(plan, sc, isc, base, m)
+		e.fillBlockWindowClamped(plan, sc, isc.from, isc.to, base, m)
 		transposeIDs(ids, sc.bufs, n, m)
 		for off := 0; off < m; off++ {
 			t := base + off
@@ -316,7 +378,11 @@ func (e *Engine) scanShardInverted(plan *runPlan, sc *jointScratch, isc *inverte
 					if len(g) < 2 {
 						continue // a lone listener meets nobody
 					}
-					scanGroup(&gcx, &pw, g, t, tk, int(c))
+					if wide {
+						scanGroupWide(&gcx, isc.pwWide, isc.segWide, g, t, tk, int(c))
+					} else {
+						scanGroup(&gcx, &pw, g, t, tk, int(c))
+					}
 				}
 			}
 			post.ResetSlot()
@@ -406,7 +472,7 @@ func scanGroup(cx *groupScanCtx, pw *[schedule.MaxPostingMembers / 64]uint64, g 
 								st.done.Store(true)
 							}
 						}
-					} else if old := atomic.OrUint64(&seen[p>>6], 1<<(p&63)); old&(1<<(p&63)) == 0 {
+					} else if setSeenBit(seen, p) {
 						if st.seenCount.Add(1) == meetable {
 							st.done.Store(true)
 						}
@@ -423,5 +489,108 @@ func scanGroup(cx *groupScanCtx, pw *[schedule.MaxPostingMembers / 64]uint64, g 
 	}
 	for s := nz; s != 0; s &= s - 1 {
 		pw[bits.TrailingZeros64(s)&63] = 0
+	}
+}
+
+// scanGroupWide is scanGroup for fleets past schedule.MaxPostingMembers:
+// the posting bitset lives in pw (ceil(members/64) heap words) instead
+// of a register array, with nonzero words tracked by segNZ — one bit
+// per posting word, walked segment by segment. There is no rowFull
+// saturation pruning (a single summary word cannot address rows wider
+// than 64 words); every nonzero posting word is ≤ the member's own
+// word because groups arrive in ascending id, so met-row bounds still
+// hold. Like scanGroup it leaves pw/segNZ cleared for the next group,
+// and it is kept a separate //go:noinline function for the same
+// optimizer-bug caution (see scanGroup). An earlier shape with a third
+// summary level (one register word over segNZ) tripped exactly the
+// wrong-code failure that comment warns about — a met-row load through
+// a corrupted base register, crashing after its bounds check passed —
+// so the walk here is deliberately flat and the hit recording lives in
+// its own //go:noinline half (recordWideCands); do not merge them or
+// deepen the nesting without re-running the proptest soak. The bug
+// family was later isolated to the go1.24.0 atomic.OrUint64 intrinsic
+// (see setSeenBit in joint.go); every scan kernel now routes its
+// seen-bitset OR through that helper.
+//
+//go:noinline
+func scanGroupWide(cx *groupScanCtx, pw, segNZ []uint64, g []int32, t int, tk int32, d int) {
+	mbase := cx.mbase
+	met := cx.met
+	env := cx.env
+	probed := env == nil
+	for _, i32 := range g {
+		i := int(i32)
+		rb := int(mbase[i])
+		blocked := false
+		for s := 0; s < len(segNZ); s++ {
+			for ss := segNZ[s]; ss != 0; ss &= ss - 1 {
+				w := s<<6 + bits.TrailingZeros64(ss)
+				cand := pw[w] &^ met[rb+w]
+				if cand == 0 {
+					continue
+				}
+				if !probed {
+					probed = true
+					if !env.Available(cx.union[d], t) {
+						blocked = true
+						break
+					}
+				}
+				recordWideCands(cx, cand, w, i, rb, tk, d)
+			}
+			if blocked {
+				break
+			}
+		}
+		if blocked {
+			break // channel masked out this slot: nobody in the group meets
+		}
+		w := uint(i32) >> 6
+		pw[w] |= 1 << (uint(i32) & 63)
+		segNZ[w>>6] |= 1 << (w & 63)
+	}
+	for s := 0; s < len(segNZ); s++ {
+		for ss := segNZ[s]; ss != 0; ss &= ss - 1 {
+			pw[s<<6+bits.TrailingZeros64(ss)] = 0
+		}
+		segNZ[s] = 0
+	}
+}
+
+// recordWideCands records every candidate bit of one posting word as a
+// first meeting of member i (posting word w, met-row base rb): the hit
+// entry, the met-row bit, and the shared seen/cancellation state. The
+// same per-pair bookkeeping as scanGroup's innermost loop, split out so
+// scanGroupWide's walk stays on the toolchain's safe ground (see the
+// optimizer-bug caution above).
+//
+//go:noinline
+func recordWideCands(cx *groupScanCtx, cand uint64, w, i, rb int, tk int32, d int) {
+	rowBase := cx.rowBase
+	met := cx.met
+	hits := cx.hits
+	seen := cx.seen
+	st := cx.st
+	meetable := cx.meetable
+	solo := cx.solo
+	for cand != 0 {
+		tz := bits.TrailingZeros64(cand)
+		cand &= cand - 1
+		o := w<<6 + tz
+		p := rowBase[o] + i - o - 1
+		hits[p] = hit32{s: tk, ch: int32(d)}
+		met[rb+w] |= 1 << (tz & 63)
+		if solo {
+			if seen[p>>6]&(1<<(p&63)) == 0 {
+				seen[p>>6] |= 1 << (p & 63)
+				if st.seenCount.Add(1) == meetable {
+					st.done.Store(true)
+				}
+			}
+		} else if setSeenBit(seen, p) {
+			if st.seenCount.Add(1) == meetable {
+				st.done.Store(true)
+			}
+		}
 	}
 }

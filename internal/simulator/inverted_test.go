@@ -9,7 +9,8 @@ import (
 // TestInvertedWordBoundaryFleets pins the posting-word bookkeeping at
 // fleet sizes straddling the 64-agent word boundaries: the last word
 // partially filled, exactly full, and one agent spilling into a fresh
-// word. Each size runs the inverted scan across worker counts and
+// word. Each size runs both posting kernels (the register-resident
+// narrow scan and the heap-bitset wide scan) across worker counts and
 // window widths against the serial block engine.
 func TestInvertedWordBoundaryFleets(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
@@ -24,11 +25,13 @@ func TestInvertedWordBoundaryFleets(t *testing.T) {
 			want := renderMeetings(eng.RunEnv(horizon, env))
 			for _, workers := range []int{1, 3} {
 				for _, window := range []int{blockLen, 4 * blockLen} {
-					res := newResult(horizon, eng.names, eng.byName, eng.rowBase)
-					eng.runJointSharded(res, horizon, workers, window, env, eng.meetablePairs(horizon), true)
-					if got := renderMeetings(res); got != want {
-						t.Fatalf("agents=%d env=%v workers=%d window=%d diverged:\n got %s\nwant %s",
-							agents, env, workers, window, got, want)
+					for _, kind := range []scanKind{scanInverted, scanInvertedWide} {
+						res := eng.newResult(horizon)
+						eng.runJointSharded(res, horizon, workers, window, env, eng.meetablePairs(horizon), kind)
+						if got := renderMeetings(res); got != want {
+							t.Fatalf("agents=%d env=%v workers=%d window=%d kind=%v diverged:\n got %s\nwant %s",
+								agents, env, workers, window, kind, got, want)
+						}
 					}
 				}
 			}
@@ -86,10 +89,10 @@ func TestInvertedScratchReuse(t *testing.T) {
 	}
 }
 
-// TestUseInvertedGates pins the routing predicate itself: the floor
+// TestScanKindGates pins the routing predicate itself: the floor
 // comparison is inclusive, per-slot reference mode opts out, and
 // horizons whose slot keys overflow the int32 stamps opt out.
-func TestUseInvertedGates(t *testing.T) {
+func TestScanKindGates(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	eng, err := NewEngine(jointTestFleet(t, rng, 8))
 	if err != nil {
@@ -97,21 +100,21 @@ func TestUseInvertedGates(t *testing.T) {
 	}
 	prev := SetInvertedFloor(8)
 	defer SetInvertedFloor(prev)
-	if !eng.useInverted(1000) {
-		t.Fatal("fleet at the floor must route inverted")
+	if k := eng.scanKindFor(1000); k != scanInverted {
+		t.Fatalf("fleet at the floor must route inverted, got %v", k)
 	}
 	SetInvertedFloor(9)
-	if eng.useInverted(1000) {
-		t.Fatal("fleet below the floor must not route inverted")
+	if k := eng.scanKindFor(1000); k != scanOccupancy {
+		t.Fatalf("fleet below the floor must not route inverted, got %v", k)
 	}
 	SetInvertedFloor(0)
-	if eng.useInverted(math.MaxInt32) {
-		t.Fatal("int32-overflowing horizon must not route inverted")
+	if k := eng.scanKindFor(math.MaxInt32); k != scanOccupancy {
+		t.Fatalf("int32-overflowing horizon must not route inverted, got %v", k)
 	}
 	pb := SetBlockEval(false)
-	ok := eng.useInverted(1000)
+	k := eng.scanKindFor(1000)
 	SetBlockEval(pb)
-	if ok {
-		t.Fatal("per-slot reference mode must not route inverted")
+	if k != scanOccupancy {
+		t.Fatalf("per-slot reference mode must not route inverted, got %v", k)
 	}
 }

@@ -63,13 +63,39 @@ func (e *Engine) RunJointParallelEnv(horizon, workers int, env Environment) *Res
 	return e.runJointParallelEnv(horizon, workers, env, e.meetablePairs(horizon))
 }
 
+// scanKind selects the sharded scan a run uses. All kinds honor the
+// same hit-array/seen-bitset contracts, so routing is invisible in the
+// Result; see scanKindFor for the gating.
+type scanKind int
+
+const (
+	scanOccupancy    scanKind = iota // dense-id occupancy scan (scanShard)
+	scanInverted                     // posting scan, register-resident group bitsets
+	scanInvertedWide                 // posting scan, 64×64-word sharded group bitsets
+	scanSparse                       // contact-topology cell-filtered posting scan
+)
+
+// route maps a scan kind to its reported Route.
+func (k scanKind) route() Route {
+	switch k {
+	case scanInverted:
+		return RouteInverted
+	case scanInvertedWide:
+		return RouteInvertedWide
+	case scanSparse:
+		return RouteSparse
+	}
+	return RouteSharded
+}
+
 // runJointParallelEnv is the shared body; meetable is the caller's
 // meetablePairs(horizon) count, so routing callers that already
 // counted (RunParallelEnv's crossover test) never scan the pair space
 // twice.
 func (e *Engine) runJointParallelEnv(horizon, workers int, env Environment, meetable int) *Result {
-	res := newResult(horizon, e.names, e.byName, e.rowBase)
+	res := e.newResult(horizon)
 	if horizon <= 0 {
+		e.setRoute(RouteSerial)
 		return res
 	}
 	if workers <= 0 {
@@ -79,14 +105,16 @@ func (e *Engine) runJointParallelEnv(horizon, workers int, env Environment, meet
 	if workers > (horizon+window-1)/window {
 		workers = (horizon + window - 1) / window
 	}
-	// Fleets at or above the inverted crossover take the posting-list
+	// Fleets at or above the inverted crossover take a posting-list
 	// scan (even single-worker: the win is algorithmic, not parallel —
-	// see inverted.go). Below it, degenerate shapes (one worker, one
-	// window, per-slot reference mode, or a horizon whose slots
+	// see inverted.go), and contact fleets with sparse pair state take
+	// the cell-filtered scan. Otherwise, degenerate shapes (one worker,
+	// one window, per-slot reference mode, or a horizon whose slots
 	// overflow the int32 hit encoding) take the serial joint path,
 	// which is the same computation.
-	inverted := e.useInverted(horizon)
-	if !inverted && (workers <= 1 || horizon >= math.MaxInt32 || !blockEval.Load()) {
+	kind := e.scanKindFor(horizon)
+	if kind == scanOccupancy && (workers <= 1 || horizon >= math.MaxInt32 || !blockEval.Load()) {
+		e.setRoute(RouteSerial)
 		if blockEval.Load() {
 			e.runBlock(res, horizon, env, meetable)
 		} else {
@@ -94,7 +122,8 @@ func (e *Engine) runJointParallelEnv(horizon, workers int, env Environment, meet
 		}
 		return res
 	}
-	e.runJointSharded(res, horizon, workers, window, env, meetable, inverted)
+	e.setRoute(kind.route())
+	e.runJointSharded(res, horizon, workers, window, env, meetable, kind)
 	return res
 }
 
@@ -114,12 +143,11 @@ func (e *Engine) getHits(pairs int) []hit32 {
 // runJointSharded is the sharded scan proper. window must be a positive
 // multiple of blockLen; it and the meetable count are parameters
 // (rather than derived here) so tests can pin partition invariance
-// directly. inverted selects the posting-list scan (scanShardInverted)
-// over the occupancy scan (scanShard); both honor the identical hit-
-// array and seen-bitset contracts, so the merge below is shared.
-func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env Environment, meetableCount int, inverted bool) {
-	n := len(e.agents)
-	pairs := n * (n - 1) / 2
+// directly. kind selects the scan a worker runs per window; every kind
+// honors the identical hit-array and seen-bitset contracts over the
+// engine's pair space, so the merge below is shared.
+func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env Environment, meetableCount int, kind scanKind) {
+	pairs := e.ps.slots
 	meetable := int64(meetableCount)
 	if meetable == 0 {
 		return
@@ -137,7 +165,7 @@ func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env 
 	// arrays.
 	seen := make([]uint64, (pairs+63)/64)
 	var tmpl, full []uint64
-	if inverted {
+	if kind == scanInverted || kind == scanInvertedWide {
 		tmpl, full = e.metSeed(horizon)
 	}
 	var seenCount atomic.Int64
@@ -151,17 +179,19 @@ func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env 
 			defer wg.Done()
 			sc := e.getJointScratch()
 			defer e.jointPool.Put(sc)
-			var isc *invertedScratch
-			var st *shardState
-			if inverted {
-				isc = e.getInvertedScratch(tmpl, full)
-				defer e.invPool.Put(isc)
-			}
 			hits := e.getHits(pairs)
 			perWorker[w] = hits
-			if inverted {
-				st = &shardState{hits: hits, env: env, seen: seen,
-					seenCount: &seenCount, done: &done, meetable: meetable, solo: workers == 1}
+			st := &shardState{hits: hits, env: env, seen: seen,
+				seenCount: &seenCount, done: &done, meetable: meetable, solo: workers == 1}
+			var isc *invertedScratch
+			var ssc *sparseScratch
+			switch kind {
+			case scanInverted, scanInvertedWide:
+				isc = e.getInvertedScratch(tmpl, full, kind == scanInvertedWide)
+				defer e.invPool.Put(isc)
+			case scanSparse:
+				ssc = e.getSparseScratch()
+				defer e.sparsePool.Put(ssc)
 			}
 			for !done.Load() {
 				wi := int(nextWin.Add(1)) - 1
@@ -170,9 +200,12 @@ func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env 
 				}
 				lo := wi * window
 				hi := min(lo+window, horizon)
-				if inverted {
-					e.scanShardInverted(plan, sc, isc, st, lo, hi)
-				} else {
+				switch kind {
+				case scanInverted, scanInvertedWide:
+					e.scanShardInverted(plan, sc, isc, st, lo, hi, kind == scanInvertedWide)
+				case scanSparse:
+					e.scanShardSparse(plan, sc, ssc, st, lo, hi)
+				default:
 					e.scanShard(plan, sc, hits, lo, hi, env, seen, &seenCount, &done, meetable)
 				}
 			}
@@ -183,24 +216,43 @@ func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env 
 	// worker processed its windows in increasing time order and kept
 	// only its first hit per pair, so the minimum over workers is the
 	// global first meeting.
-	p := 0
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if seen[p>>6]&(1<<(p&63)) != 0 {
-				best := hit32{}
-				for w := range perWorker {
-					if h := perWorker[w][p]; h.s != 0 && (best.s == 0 || h.s < best.s) {
-						best = h
-					}
-				}
-				res.record(i, j, int(best.s)-1, e.union[best.ch], max(e.agents[i].Wake, e.agents[j].Wake))
-			}
-			p++
+	e.ps.forEach(func(p, i, j int) {
+		if seen[p>>6]&(1<<(p&63)) == 0 {
+			return
 		}
-	}
+		best := hit32{}
+		for w := range perWorker {
+			if h := perWorker[w][p]; h.s != 0 && (best.s == 0 || h.s < best.s) {
+				best = h
+			}
+		}
+		res.recordAt(p, int(best.s)-1, e.union[best.ch], max(e.agents[i].Wake, e.agents[j].Wake))
+	})
 	for w := range perWorker {
 		h := perWorker[w]
 		e.hitPool.Put(&h)
+	}
+}
+
+// setSeenBit atomically sets pair p's bit in the shared seen bitset,
+// reporting whether this call flipped it. Deliberately a Load+CAS loop
+// rather than atomic.OrUint64: the go1.24.0 compiler miscompiles the
+// Or intrinsic's enclosing scan kernels — later candidates in the same
+// loop silently dropped, or call arguments corrupted — in optimized
+// builds only (-N -l and -race builds are correct). Caught by
+// TestPropContactEngines; see also the miscompilation guard on
+// scanGroupSparse. Do not "simplify" this back to atomic.OrUint64
+// without re-running the proptest soak.
+func setSeenBit(seen []uint64, p int) bool {
+	w, m := p>>6, uint64(1)<<(p&63)
+	for {
+		old := atomic.LoadUint64(&seen[w])
+		if old&m != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&seen[w], old, old|m) {
+			return true
+		}
 	}
 }
 
@@ -209,6 +261,7 @@ func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env 
 // windows into hits and feeding the shared cancellation state.
 func (e *Engine) scanShard(plan *runPlan, sc *jointScratch, hits []hit32, lo, hi int, env Environment,
 	seen []uint64, seenCount *atomic.Int64, done *atomic.Bool, meetable int64) {
+	topo := e.topo
 	for base := lo; base < hi; base += blockLen {
 		m := min(blockLen, hi-base)
 		e.fillBlockWindow(plan, sc, base, m)
@@ -229,6 +282,14 @@ func (e *Engine) scanShard(plan *runPlan, sc *jointScratch, hits []hit32, lo, hi
 					// Agents are visited in ascending id order within a slot,
 					// so o < i and the triangular index needs no swap.
 					p := e.rowBase[o] + i - o - 1
+					if topo != nil {
+						// Under a contact topology the pair space filters
+						// out-of-range pairs (and, when sparse, renumbers
+						// the slots), so the triangular shortcut is wrong.
+						if p = e.ps.index(o, i); p < 0 {
+							continue
+						}
+					}
 					if hits[p].s != 0 {
 						continue
 					}
@@ -240,7 +301,7 @@ func (e *Engine) scanShard(plan *runPlan, sc *jointScratch, hits []hit32, lo, hi
 						break
 					}
 					hits[p] = hit32{s: int32(t) + 1, ch: d}
-					if old := atomic.OrUint64(&seen[p>>6], 1<<(p&63)); old&(1<<(p&63)) == 0 {
+					if setSeenBit(seen, p) {
 						if seenCount.Add(1) == meetable {
 							done.Store(true)
 						}

@@ -49,12 +49,12 @@ func TestJointShardedPartitionInvariance(t *testing.T) {
 		want := renderMeetings(eng.RunEnv(horizon, env))
 		for _, workers := range []int{2, 3, 8} {
 			for _, window := range []int{blockLen, 3 * blockLen, 16 * blockLen} {
-				for _, inverted := range []bool{false, true} {
-					res := newResult(horizon, eng.names, eng.byName, eng.rowBase)
-					eng.runJointSharded(res, horizon, workers, window, env, eng.meetablePairs(horizon), inverted)
+				for _, kind := range []scanKind{scanOccupancy, scanInverted, scanInvertedWide} {
+					res := eng.newResult(horizon)
+					eng.runJointSharded(res, horizon, workers, window, env, eng.meetablePairs(horizon), kind)
 					if got := renderMeetings(res); got != want {
-						t.Fatalf("trial %d workers=%d window=%d inverted=%v diverged:\n got %s\nwant %s",
-							trial, workers, window, inverted, got, want)
+						t.Fatalf("trial %d workers=%d window=%d kind=%v diverged:\n got %s\nwant %s",
+							trial, workers, window, kind, got, want)
 					}
 				}
 			}
@@ -129,13 +129,12 @@ func TestRunJointParallelDegenerate(t *testing.T) {
 }
 
 // TestRunParallelJointCrossover exercises RunParallelEnv's routing to
-// the sharded joint engine: a fleet large enough to exceed
-// jointPairCrossover must still reproduce the serial joint result
-// exactly (the crossover is a performance choice, never a semantic
-// one).
+// the sharded joint engine: a fleet large enough to exceed the
+// crossover band must still reproduce the serial joint result exactly
+// (the crossover is a performance choice, never a semantic one).
 func TestRunParallelJointCrossover(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	const agents = 240 // ~28k pairs, well past jointPairCrossover even after disjoint-set pruning
+	const agents = 240 // ~28k pairs, well past autoCrossHi even after disjoint-set pruning
 	fleet := make([]Agent, agents)
 	for i := range fleet {
 		seq := []int{1 + rng.Intn(6), 1 + rng.Intn(6), 1 + rng.Intn(6)}
@@ -149,7 +148,7 @@ func TestRunParallelJointCrossover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := eng.meetablePairs(256); n <= jointPairCrossover {
+	if n := eng.meetablePairs(256); n <= autoCrossHi {
 		t.Fatalf("fleet too small to cross over: %d pairs", n)
 	}
 	want := renderMeetings(eng.RunEnv(256, evenSlotsBlocked{}))

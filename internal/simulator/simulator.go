@@ -31,6 +31,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rendezvous/internal/schedule"
 )
@@ -99,51 +100,54 @@ type Meeting struct {
 }
 
 // Result holds the outcome of a simulation run. Meetings are stored in
-// flat triangular arrays indexed by dense agent-pair index; the public
-// accessors translate through the engine's id↔name table, so the string
-// API is unchanged from the original map-based representation.
+// flat arrays indexed by the engine's pair space — triangular over all
+// pairs for topology-free fleets, contact-edge CSR for large contact
+// fleets — and the public accessors translate through the engine's
+// id↔name table, so the string API is unchanged from the original
+// map-based representation.
 type Result struct {
 	Horizon int
 
 	names    []string       // agent id -> name, engine order
 	byName   map[string]int // name -> agent id
-	rowBase  []int          // triangular row offsets; pair (i<j) -> rowBase[i]+j-i-1
-	met      []uint64       // bitset over pair indices
+	ps       *pairSpace     // pair (i<j) -> state slot, shared with the engine
+	met      []uint64       // bitset over pair slots
 	metCount int
-	slot     []int // per pair index, valid where met
+	slot     []int // per pair slot, valid where met
 	channel  []int
 	ttr      []int
 }
 
-// newResult allocates a result sized for the engine's fleet. names and
-// byName are shared with the engine (read-only).
-func newResult(horizon int, names []string, byName map[string]int, rowBase []int) *Result {
-	n := len(names)
-	pairs := n * (n - 1) / 2
+// newResult allocates a result sized for the engine's pair space; the
+// name table and pair space are shared with the engine (read-only).
+func (e *Engine) newResult(horizon int) *Result {
+	slots := e.ps.slots
 	return &Result{
 		Horizon: horizon,
-		names:   names,
-		byName:  byName,
-		rowBase: rowBase,
-		met:     make([]uint64, (pairs+63)/64),
-		slot:    make([]int, pairs),
-		channel: make([]int, pairs),
-		ttr:     make([]int, pairs),
+		names:   e.names,
+		byName:  e.byName,
+		ps:      e.ps,
+		met:     make([]uint64, (slots+63)/64),
+		slot:    make([]int, slots),
+		channel: make([]int, slots),
+		ttr:     make([]int, slots),
 	}
 }
 
-// pairIdx maps agent ids i < j to the dense triangular pair index.
-func (r *Result) pairIdx(i, j int) int { return r.rowBase[i] + j - i - 1 }
-
-// isMet reports whether pair p has a recorded meeting.
+// isMet reports whether pair slot p has a recorded meeting.
 func (r *Result) isMet(p int) bool { return r.met[p>>6]&(1<<(p&63)) != 0 }
 
 // record stores the first meeting of agents i < j (dense ids) at global
 // slot t on channel ch; both is the later wake. Later calls for the same
-// pair are ignored, preserving first-meeting semantics.
+// pair are ignored, preserving first-meeting semantics; pairs outside
+// the contact topology are ignored outright.
 func (r *Result) record(i, j, t, ch, both int) {
-	p := r.pairIdx(i, j)
-	if r.isMet(p) {
+	r.recordAt(r.ps.index(i, j), t, ch, both)
+}
+
+// recordAt is record for callers that already hold the pair's slot.
+func (r *Result) recordAt(p, t, ch, both int) {
+	if p < 0 || r.isMet(p) {
 		return
 	}
 	r.met[p>>6] |= 1 << (p & 63)
@@ -153,10 +157,9 @@ func (r *Result) record(i, j, t, ch, both int) {
 	r.ttr[p] = t - both
 }
 
-// meetingAt materializes the Meeting for pair (i<j), with A/B in name
-// order as the original map keys were.
-func (r *Result) meetingAt(i, j int) Meeting {
-	p := r.pairIdx(i, j)
+// meetingAt materializes the Meeting recorded at pair slot p for agents
+// (i<j), with A/B in name order as the original map keys were.
+func (r *Result) meetingAt(p, i, j int) Meeting {
 	a, b := r.names[i], r.names[j]
 	if a > b {
 		a, b = b, a
@@ -174,10 +177,11 @@ func (r *Result) Meeting(a, b string) (Meeting, bool) {
 	if i > j {
 		i, j = j, i
 	}
-	if !r.isMet(r.pairIdx(i, j)) {
+	p := r.ps.index(i, j)
+	if p < 0 || !r.isMet(p) {
 		return Meeting{}, false
 	}
-	return r.meetingAt(i, j), true
+	return r.meetingAt(p, i, j), true
 }
 
 // MetCount returns the number of recorded meetings without
@@ -200,14 +204,11 @@ func meetingLess(a, b Meeting) bool {
 // Meetings returns all recorded meetings sorted by slot.
 func (r *Result) Meetings() []Meeting {
 	out := make([]Meeting, 0, r.metCount)
-	n := len(r.names)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if r.isMet(r.pairIdx(i, j)) {
-				out = append(out, r.meetingAt(i, j))
-			}
+	r.ps.forEach(func(p, i, j int) {
+		if r.isMet(p) {
+			out = append(out, r.meetingAt(p, i, j))
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return meetingLess(out[i], out[j]) })
 	return out
 }
@@ -215,7 +216,8 @@ func (r *Result) Meetings() []Meeting {
 // AllMet reports whether every eligible pair of agents has met: pairs
 // whose channel sets overlap and whose activity windows intersect
 // within the run's horizon (under churn, a pair where one agent leaves
-// before the other wakes can never meet and is not required).
+// before the other wakes can never meet and is not required; under a
+// contact topology, out-of-range pairs are likewise not required).
 func (r *Result) AllMet(agents []Agent) bool {
 	sets := make([][]int, len(agents))
 	for i := range agents {
@@ -226,12 +228,31 @@ func (r *Result) AllMet(agents []Agent) bool {
 			if !sortedIntersect(sets[i], sets[j]) || !Coexist(agents[i], agents[j], r.Horizon) {
 				continue
 			}
+			if !r.PairInRange(agents[i].Name, agents[j].Name) {
+				continue
+			}
 			if _, ok := r.Meeting(agents[i].Name, agents[j].Name); !ok {
 				return false
 			}
 		}
 	}
 	return true
+}
+
+// PairInRange reports whether the named pair is representable in the
+// result's pair space — always true without a contact topology, the
+// in-range relation with one. Names are resolved through the engine's
+// table because contact engines renumber agents internally.
+func (r *Result) PairInRange(a, b string) bool {
+	i, okA := r.byName[a]
+	j, okB := r.byName[b]
+	if !okA || !okB {
+		return false
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return r.ps.index(i, j) >= 0
 }
 
 // allChannels returns every channel s may ever hop, sorted ascending
@@ -339,6 +360,17 @@ type Engine struct {
 	chIdx   chanIndex
 	union   []int // dense channel id -> raw value (sorted hop-set union)
 
+	// topo is the contact topology (nil for topology-free fleets), ps
+	// the pair-slot layout over it (see pairSpace), and lastRoute the
+	// evaluation strategy of the most recent run (see LastRoute).
+	topo      *topoState
+	ps        *pairSpace
+	lastRoute atomic.Int32
+
+	// cal is the ski-rental crossover calibration state for fleets in
+	// the pairwise/joint ambiguity band (see jointChoice).
+	cal crossoverCal
+
 	// compiled caches per-agent hop tables (schedule.Compile) built
 	// lazily once a run's horizon justifies the one-time unroll cost;
 	// dense caches their int32 dense-id remaps for the joint scans.
@@ -368,11 +400,12 @@ type Engine struct {
 	// block buffers, pairwise found arrays) across runs: the sweeps that
 	// drive experiments call Run/RunParallel in tight loops, and this
 	// bookkeeping dominated their allocation profile.
-	planPool  sync.Pool // *runPlan
-	jointPool sync.Pool // *jointScratch
-	pairPool  sync.Pool // *pairScratch
-	hitPool   sync.Pool // *[]hit32
-	invPool   sync.Pool // *invertedScratch
+	planPool   sync.Pool // *runPlan
+	jointPool  sync.Pool // *jointScratch
+	pairPool   sync.Pool // *pairScratch
+	hitPool    sync.Pool // *[]hit32
+	invPool    sync.Pool // *invertedScratch
+	sparsePool sync.Pool // *sparseScratch
 }
 
 // NewEngine validates the agents (unique non-empty names, non-negative
@@ -419,6 +452,7 @@ func NewEngine(agents []Agent) (*Engine, error) {
 		names:    names,
 		byName:   byName,
 		rowBase:  rowBase,
+		ps:       &pairSpace{n: n, slots: n * (n - 1) / 2, rowBase: rowBase},
 		hopSets:  hopSets,
 		chIdx:    newChanIndex(union),
 		union:    union,
@@ -595,10 +629,23 @@ func (e *Engine) meetablePairs(horizon int) int {
 		return e.meetableN
 	}
 	count := 0
-	for i := range e.agents {
-		for j := i + 1; j < len(e.agents); j++ {
-			if e.pairMeetable(i, j, horizon) {
-				count++
+	if t := e.topo; t != nil {
+		// Under a contact topology only edges can meet, so the count
+		// walks O(contact edges) — the quadratic pair loop below would
+		// alone blow the budget of a million-agent run.
+		for i := range e.agents {
+			for ei := t.fwdBase[i]; ei < t.fwdBase[i+1]; ei++ {
+				if e.pairMeetable(i, int(t.fwdAdj[ei]), horizon) {
+					count++
+				}
+			}
+		}
+	} else {
+		for i := range e.agents {
+			for j := i + 1; j < len(e.agents); j++ {
+				if e.pairMeetable(i, j, horizon) {
+					count++
+				}
 			}
 		}
 	}
@@ -608,9 +655,13 @@ func (e *Engine) meetablePairs(horizon int) int {
 	return count
 }
 
-// pairMeetable reports whether agents i and j share a channel and are
-// both active at some slot below horizon.
+// pairMeetable reports whether agents i and j share a channel, are
+// both active at some slot below horizon, and (under a contact
+// topology) are within contact range.
 func (e *Engine) pairMeetable(i, j, horizon int) bool {
+	if e.topo != nil && !e.topo.inRange2(i, j) {
+		return false
+	}
 	return Coexist(e.agents[i], e.agents[j], horizon) && sortedIntersect(e.hopSets[i], e.hopSets[j])
 }
 
@@ -622,7 +673,8 @@ func (e *Engine) Run(horizon int) *Result { return e.RunEnv(horizon, nil) }
 // slots where their common channel is available. A nil env means all
 // channels are always available (identical to Run).
 func (e *Engine) RunEnv(horizon int, env Environment) *Result {
-	res := newResult(horizon, e.names, e.byName, e.rowBase)
+	e.setRoute(RouteSerial)
+	res := e.newResult(horizon)
 	meetable := e.meetablePairs(horizon)
 	if blockEval.Load() {
 		e.runBlock(res, horizon, env, meetable)
@@ -797,18 +849,6 @@ func (e *Engine) RunParallel(horizon, workers int) *Result {
 	return e.RunParallelEnv(horizon, workers, nil)
 }
 
-// jointPairCrossover is the meetable-pair count above which
-// RunParallelEnv switches from the pairwise decomposition to the
-// time-sharded joint engine. Below it the pairwise scan wins: each pair
-// stops at its own first meeting, and the quadratic pair space is small
-// enough that scanning it independently beats a joint occupancy pass.
-// Above it the joint engine wins decisively — its work is O(agents) per
-// slot instead of O(pairs), and pairs that never meet (hostile
-// environments) no longer each burn a full-horizon scan. Both paths
-// produce byte-identical Results, so the crossover is purely a
-// performance choice.
-const jointPairCrossover = 1 << 14
-
 // pairScratch recycles the pairwise decomposition's working state
 // (meetable-pair list and found array) across runs.
 type pairScratch struct {
@@ -831,29 +871,61 @@ type pairHit struct {
 var pairBufPool = sync.Pool{New: func() any { return new([2 * blockLen]int) }}
 
 // RunParallelEnv is RunParallel under an optional Environment; see
-// RunEnv for the availability semantics. Large fleets (more than
-// jointPairCrossover meetable pairs) are routed through the
-// time-sharded joint engine, which computes the identical Result.
+// RunEnv for the availability semantics. Large fleets (more meetable
+// pairs than the joint crossover — see SetJointCrossover) are routed
+// through the time-sharded joint engine, which computes the identical
+// Result.
 func (e *Engine) RunParallelEnv(horizon, workers int, env Environment) *Result {
 	useBlocks := blockEval.Load()
 	if useBlocks {
 		// Count before materializing the pair list: on the joint path the
 		// quadratic list is never needed, and the count threads through so
 		// the scan happens exactly once per run.
-		if meetable := e.meetablePairs(horizon); meetable > jointPairCrossover {
+		meetable := e.meetablePairs(horizon)
+		switch e.jointChoice(meetable) {
+		case chooseJoint:
 			return e.runJointParallelEnv(horizon, workers, env, meetable)
+		case chooseJointProbe:
+			start := time.Now()
+			res := e.runJointParallelEnv(horizon, workers, env, meetable)
+			e.cal.noteJoint(time.Since(start))
+			return res
+		case choosePairwiseTimed:
+			start := time.Now()
+			res := e.runPairwiseEnv(horizon, workers, env, useBlocks)
+			e.cal.notePairwise(time.Since(start))
+			return res
 		}
 	}
+	return e.runPairwiseEnv(horizon, workers, env, useBlocks)
+}
+
+// runPairwiseEnv is the pairwise decomposition proper: one independent
+// scan per meetable pair, executed by a bounded worker pool.
+func (e *Engine) runPairwiseEnv(horizon, workers int, env Environment, useBlocks bool) *Result {
+	e.setRoute(RoutePairwise)
 	sc, _ := e.pairPool.Get().(*pairScratch)
 	if sc == nil {
 		sc = &pairScratch{}
 	}
 	defer e.pairPool.Put(sc)
 	sc.pairs = sc.pairs[:0]
-	for i := range e.agents {
-		for j := i + 1; j < len(e.agents); j++ {
-			if e.pairMeetable(i, j, horizon) {
-				sc.pairs = append(sc.pairs, pairRef{i, j})
+	if t := e.topo; t != nil {
+		// Only contact edges can meet; enumerating them keeps the list
+		// build O(edges) where the pair loop below is O(agents²).
+		for i := range e.agents {
+			for ei := t.fwdBase[i]; ei < t.fwdBase[i+1]; ei++ {
+				if j := int(t.fwdAdj[ei]); e.pairMeetable(i, j, horizon) {
+					sc.pairs = append(sc.pairs, pairRef{i, j})
+				}
+			}
+		}
+	} else {
+		for i := range e.agents {
+			for j := i + 1; j < len(e.agents); j++ {
+				if e.pairMeetable(i, j, horizon) {
+					sc.pairs = append(sc.pairs, pairRef{i, j})
+				}
 			}
 		}
 	}
@@ -934,7 +1006,7 @@ func (e *Engine) RunParallelEnv(horizon, workers int, env Environment) *Result {
 		}
 		wg.Wait()
 	}
-	res := newResult(horizon, e.names, e.byName, e.rowBase)
+	res := e.newResult(horizon)
 	for p, h := range found {
 		if h.ok {
 			i, j := pairs[p].i, pairs[p].j

@@ -118,6 +118,24 @@ type Jammer = scenario.Jammer
 // pairs, met pairs, and the TTR profile.
 type Coverage = scenario.Coverage
 
+// Grid places a Scenario fleet on a square plane and bounds rendezvous
+// to pairs within a contact radius; the zero value keeps every pair in
+// range. Positions derive from the scenario seed like everything else.
+type Grid = scenario.Grid
+
+// ContactGraph is a gridded scenario's contact relation: per-agent
+// neighbor lists, per-cell agent lists, and the edge count — the
+// denominator of the sparse engine's candidate-reduction measurements.
+type ContactGraph = scenario.ContactGraph
+
+// ContactTopology places explicit agents on a cell grid for
+// NewEngineContact; scenarios build theirs automatically via Grid.
+type ContactTopology = simulator.ContactTopology
+
+// Route identifies which evaluation strategy an engine run took (see
+// Engine.LastRoute); every route computes the identical Result.
+type Route = simulator.Route
+
 // ScheduleBuilder constructs the schedule for one agent of a scenario
 // fleet from its channel set; the agent index seeds randomized
 // algorithms.
@@ -135,10 +153,25 @@ func Summarize(res *Result, agents []Agent, horizon int) Coverage {
 	return scenario.Summarize(res, agents, horizon)
 }
 
+// SummarizeContact is Summarize over a contact graph's edges —
+// O(contact edges) instead of O(agents²), the only viable summary at
+// network scale. A nil graph falls back to Summarize.
+func SummarizeContact(res *Result, agents []Agent, horizon int, g *ContactGraph) Coverage {
+	return scenario.SummarizeContact(res, agents, horizon, g)
+}
+
 // NewEngine validates agents (unique names, non-negative wakes) and
 // returns a simulation engine.
 func NewEngine(agents []Agent) (*Engine, error) {
 	return simulator.NewEngine(agents)
+}
+
+// NewEngineContact is NewEngine under a contact topology: only pairs
+// within the contact radius can rendezvous, pair state scales with
+// contact edges instead of agents², and the joint scans route through
+// the cell-filtered sparse scan. A nil topology is plain NewEngine.
+func NewEngineContact(agents []Agent, topo *ContactTopology) (*Engine, error) {
+	return simulator.NewEngineContact(agents, topo)
 }
 
 // PairTTR measures the time-to-rendezvous of two schedules: a wakes at
