@@ -1,8 +1,8 @@
 GO ?= go
 
 .PHONY: build build-examples fmt-check vet lint test race bench bench-smoke ci \
-	fuzz-smoke cover golden bench-json bench-json-smoke bench-compare \
-	bench-compare-smoke
+	fuzz-smoke cover golden golden-thrash bench-json bench-json-smoke \
+	bench-compare bench-compare-smoke
 
 build:
 	$(GO) build ./...
@@ -142,7 +142,16 @@ cover:
 golden:
 	$(GO) test -run 'TestGolden' ./internal/experiments ./cmd/rvsim -update -count=1
 
+# Worst-case cache thrash: rerun the golden-report and examples smoke
+# suites with the shared table cache budgeted to a single byte, so every
+# borrow evicts whatever came before. Outputs must stay byte-identical
+# to the committed goldens — the cache budget is bookkeeping, never
+# semantics.
+golden-thrash:
+	RV_TABLECACHE_BUDGET=1 $(GO) test -run 'TestGolden' ./internal/experiments ./cmd/rvsim -count=1
+	RV_TABLECACHE_BUDGET=1 $(GO) test -run 'TestExamplesRunToCompletion' ./examples -count=1
+
 # The exact sequence CI runs; keep local and CI invocations identical.
 # bench-compare-smoke subsumes bench-json-smoke (it regenerates the
 # trajectory point, then gates it against the committed baseline).
-ci: fmt-check vet build build-examples race cover bench-compare-smoke
+ci: fmt-check vet build build-examples race cover golden-thrash bench-compare-smoke

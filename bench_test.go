@@ -22,6 +22,7 @@ import (
 	"rendezvous/internal/pairsched"
 	"rendezvous/internal/simulator"
 	"rendezvous/internal/sweep"
+	"rendezvous/internal/tablecache"
 )
 
 // benchCfg leaves Workers at 0 (one worker per CPU), so every
@@ -330,6 +331,127 @@ func BenchmarkEngineSparse(b *testing.B) {
 			b.Fatalf("sparse engine routed %v, want sparse", r)
 		}
 	})
+}
+
+// --- session reuse & table cache --------------------------------------
+
+// BenchmarkSessionReuse is the acceptance benchmark for the reuse
+// layers, measuring one NETWORK-shaped fleet (256 agents, 128 channels,
+// primary users) three ways:
+//
+//   - fresh-cold: engine per run against a brand-new table cache — the
+//     pre-cache world, every run rebuilds its hop tables from nothing;
+//   - fresh-warm: engine per run against one persistent cache — the
+//     batch-sweep shape, table builds amortize across engines (hits/op
+//     counts the borrowed tables);
+//   - steady: one engine, one session, run after run — the rvserve
+//     shape, where only the scan itself remains.
+//
+// All three produce byte-identical results (budget independence); only
+// the amortized build cost differs, which is exactly the gap this
+// benchmark pins for the trajectory gate.
+func BenchmarkSessionReuse(b *testing.B) {
+	sc := rendezvous.Scenario{
+		N: 128, Agents: 256, K: 4, Seed: 7, Horizon: 1 << 13,
+		Churn: rendezvous.Churn{WakeSpread: 2000},
+		PU:    rendezvous.PrimaryUsers{Count: 8, Window: 1024, OnFrac: 0.5},
+	}
+	build, err := rendezvous.ScenarioBuilder("ours", sc.N, sc.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	agents, env, err := sc.Build(build)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newEngine := func(b *testing.B) *rendezvous.Engine {
+		eng, err := rendezvous.NewEngine(agents)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+	b.Run("fresh-cold", func(b *testing.B) {
+		prev := simulator.SetTableCache(nil)
+		defer simulator.SetTableCache(prev)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			simulator.SetTableCache(tablecache.New(tablecache.DefaultBudget))
+			eng := newEngine(b)
+			sink += eng.RunEnv(sc.Horizon, env).MetCount()
+			eng.Close()
+		}
+	})
+	b.Run("fresh-warm", func(b *testing.B) {
+		c := tablecache.New(tablecache.DefaultBudget)
+		prev := simulator.SetTableCache(c)
+		defer simulator.SetTableCache(prev)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng := newEngine(b)
+			sink += eng.RunEnv(sc.Horizon, env).MetCount()
+			eng.Close()
+		}
+		b.ReportMetric(float64(c.Stats().Hits)/float64(b.N), "hits/op")
+	})
+	b.Run("steady", func(b *testing.B) {
+		prev := simulator.SetTableCache(tablecache.New(tablecache.DefaultBudget))
+		defer simulator.SetTableCache(prev)
+		eng := newEngine(b)
+		defer eng.Close()
+		sess := eng.Session()
+		sink += sess.RunEnv(sc.Horizon, env).MetCount() // warm tables + result
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sess.Reset()
+			sink += sess.RunEnv(sc.Horizon, env).MetCount()
+		}
+	})
+}
+
+// BenchmarkBlockCacheRandom measures the rolling dense-block cache on
+// the schedules no table layer reaches: huge-period Random hoppers
+// (period 1<<22, far past compilation at this horizon) with the
+// prefix-table budget forced to zero, so every block either replays
+// from the ring or pays schedule evaluation plus dense remap. Off vs.
+// on is the remap-per-block cost disappearing on repeated runs of a
+// warm engine — the beacon/Random half of the reuse story.
+func BenchmarkBlockCacheRandom(b *testing.B) {
+	sc := rendezvous.Scenario{
+		N: 128, Agents: 64, K: 4, Seed: 7, Horizon: 1 << 14,
+		PU: rendezvous.PrimaryUsers{Count: 8, Window: 1024, OnFrac: 1},
+	}
+	build, err := rendezvous.ScenarioBuilder("random", sc.N, sc.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	agents, env, err := sc.Build(build)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prevPrefix := simulator.SetPrefixBudget(0)
+	defer simulator.SetPrefixBudget(prevPrefix)
+	for _, mode := range []struct {
+		name   string
+		budget int
+	}{{"off", 0}, {"on", 16 << 20}} {
+		b.Run(mode.name, func(b *testing.B) {
+			prev := simulator.SetBlockCacheBudget(mode.budget)
+			defer simulator.SetBlockCacheBudget(prev)
+			eng, err := rendezvous.NewEngine(agents)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			sess := eng.Session()
+			sink += sess.RunEnv(sc.Horizon, env).MetCount() // warm the ring
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess.Reset()
+				sink += sess.RunEnv(sc.Horizon, env).MetCount()
+			}
+		})
+	}
 }
 
 // --- block evaluation -------------------------------------------------

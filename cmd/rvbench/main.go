@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"rendezvous/internal/experiments"
+	"rendezvous/internal/tablecache"
 )
 
 func main() {
@@ -39,8 +40,12 @@ func run(args []string, out io.Writer) error {
 	quick := fs.Bool("quick", false, "shrink sweeps to CI size")
 	seed := fs.Int64("seed", 1, "workload seed")
 	parallel := fs.Int("parallel", 0, "sweep workers (0 = one per CPU); results are identical at any value")
+	cachestats := fs.Bool("cachestats", false, "print shared table-cache counters after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cachestats {
+		defer printCacheStats(out)
 	}
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *parallel}
 	table := map[string]func(experiments.Config) *experiments.Report{
@@ -70,4 +75,16 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, f(cfg))
 	return nil
+}
+
+// printCacheStats reports the shared compiled-table cache and the
+// rolling block cache after a run — the observability half of the table
+// cache: how much schedule build work the run reused vs. recomputed.
+func printCacheStats(out io.Writer) {
+	st := tablecache.Shared().Stats()
+	bs := tablecache.BlockStats()
+	fmt.Fprintf(out, "table cache   hits=%d misses=%d evictions=%d entries=%d bytes=%d\n",
+		st.Hits, st.Misses, st.Evictions, st.Entries, st.Bytes)
+	fmt.Fprintf(out, "block cache   hits=%d misses=%d evictions=%d\n",
+		bs.Hits, bs.Misses, bs.Evictions)
 }

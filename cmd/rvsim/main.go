@@ -156,11 +156,15 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// A session recycles the engine's run state; Close releases the hop
+	// tables the engine borrowed from the shared cache.
+	sess := eng.Session()
+	defer sess.Close()
 	var res *rendezvous.Result
 	if *parallel == 1 {
-		res = eng.Run(*horizon)
+		res = sess.Run(*horizon)
 	} else {
-		res = eng.RunParallel(*horizon, *parallel)
+		res = sess.RunParallel(*horizon, *parallel)
 	}
 
 	fmt.Fprintf(out, "universe n=%d  algorithm=%s  horizon=%d slots\n\n", *n, *alg, *horizon)

@@ -1,0 +1,40 @@
+package baselines
+
+import (
+	"strconv"
+
+	"rendezvous/internal/schedule"
+)
+
+// Cache keys (schedule.CacheKeyer) for the baseline schedules. Each one
+// is a pure function of its construction parameters, so the canonical
+// parameter encoding below is a sound identity for the shared table
+// cache: equal keys guarantee slot-for-slot equal hop sequences. Derived
+// fields (primes, remap tables) are omitted — they follow from n + set.
+
+// CacheKey implements schedule.CacheKeyer. The randomized variant folds
+// in its flag and seed; the deterministic one is (n, set) alone.
+func (c *CRSEQ) CacheKey() (string, bool) {
+	k := "crseq|" + strconv.Itoa(c.n) + schedule.KeyInts(c.set)
+	if c.randomize {
+		k += "|r" + strconv.FormatUint(c.seed, 36)
+	}
+	return k, true
+}
+
+// CacheKey implements schedule.CacheKeyer.
+func (j *JumpStay) CacheKey() (string, bool) {
+	return "js|" + strconv.Itoa(j.n) + schedule.KeyInts(j.set), true
+}
+
+// CacheKey implements schedule.CacheKeyer: a Random schedule is pure in
+// (seed, period, set) — distinct agents use distinct seeds, so keys
+// collide exactly when the hop sequences do.
+func (r *Random) CacheKey() (string, bool) {
+	return "rand|" + strconv.FormatUint(r.seed, 36) + "|" + strconv.Itoa(r.period) + schedule.KeyInts(r.set), true
+}
+
+// CacheKey implements schedule.CacheKeyer.
+func (s *Sweep) CacheKey() (string, bool) {
+	return "sweep|" + strconv.Itoa(s.n) + schedule.KeyInts(s.set), true
+}

@@ -42,13 +42,19 @@ func Network(cfg Config) *Report {
 			"agents", "alg", "pairs", "met", "met%", "mean-ttr",
 		},
 	}
-	type cell struct {
+	// Derive the whole (fleet, algorithm) grid serially — scenarios are
+	// pure functions of the seed, so this is cheap — then submit it as
+	// one batch: every cell engine borrows from the shared table cache,
+	// and the pool parallelizes across cells exactly as sweep.Map did.
+	total := len(fleets) * len(algs)
+	type cellMeta struct {
 		fleet int
 		alg   string
-		cov   scenario.Coverage
 		err   error
 	}
-	cells := sweep.Map(cfg.runner(1100), len(fleets)*len(algs), func(job int) cell {
+	metas := make([]cellMeta, total)
+	jobs := make([]scenario.RunJob, total)
+	for job := 0; job < total; job++ {
 		fleet := fleets[job/len(algs)]
 		alg := algs[job%len(algs)]
 		sc := scenario.Scenario{
@@ -66,34 +72,38 @@ func Network(cfg Config) *Report {
 			},
 			PU: scenario.PrimaryUsers{Count: 8, Window: 1024, OnFrac: 0.5},
 		}
+		metas[job] = cellMeta{fleet: fleet, alg: alg}
 		// The fleet seed is shared across algorithms (same population,
 		// same spectrum dynamics); only the schedule builder differs.
 		build, err := scenario.BuilderFor(alg, n, sc.Seed+uint64(job%len(algs)))
 		if err != nil {
-			return cell{fleet: fleet, alg: alg, err: err}
+			metas[job].err = err
+			continue
 		}
-		// Workers = 0: the engine parallelizes inside the cell (the sweep
-		// engine already runs cells concurrently; the scheduler shares the
+		// Workers = 0: the engine parallelizes inside the cell (the batch
+		// pool already runs cells concurrently; the scheduler shares the
 		// cores). Exactness of both engine decompositions keeps the report
 		// byte-identical whatever the worker counts.
-		res, agents, err := sc.Run(build, 0)
-		if err != nil {
-			return cell{fleet: fleet, alg: alg, err: err}
+		jobs[job] = scenario.RunJob{Sc: sc, Build: build}
+	}
+	outs := scenario.RunMany(cfg.runner(1100), jobs)
+	for job, out := range outs {
+		c := metas[job]
+		if c.err == nil {
+			c.err = out.Err
 		}
-		return cell{fleet: fleet, alg: alg, cov: scenario.Summarize(res, agents, horizon)}
-	})
-	for _, c := range cells {
 		if c.err != nil {
 			rep.Notes = append(rep.Notes, fmt.Sprintf("%s @ %d agents failed: %v", c.alg, c.fleet, c.err))
 			continue
 		}
+		cov := scenario.Summarize(out.Res, out.Agents, horizon)
 		rep.Rows = append(rep.Rows, []string{
 			itoa(c.fleet),
 			c.alg,
-			itoa(c.cov.EligiblePairs),
-			itoa(c.cov.MetPairs),
-			fmt.Sprintf("%.1f", 100*c.cov.MetFrac()),
-			fmt.Sprintf("%.0f", c.cov.MeanTTR),
+			itoa(cov.EligiblePairs),
+			itoa(cov.MetPairs),
+			fmt.Sprintf("%.1f", 100*cov.MetFrac()),
+			fmt.Sprintf("%.0f", cov.MeanTTR),
 		})
 	}
 	rep.Notes = append(rep.Notes,

@@ -46,14 +46,19 @@ func NetworkSparse(cfg Config) *Report {
 			"agents", "alg", "pairs", "edges", "reduce", "eligible", "met", "met%", "mean-ttr",
 		},
 	}
-	type cell struct {
+	// Same batched shape as NETWORK: derive the grid serially, submit it
+	// through scenario.RunMany (shared table cache, one worker pool),
+	// summarize in submission order.
+	total := len(fleets) * len(algs)
+	type cellMeta struct {
 		fleet int
 		alg   string
-		edges int
-		cov   scenario.Coverage
 		err   error
 	}
-	cells := sweep.Map(cfg.runner(1200), len(fleets)*len(algs), func(job int) cell {
+	metas := make([]cellMeta, total)
+	jobs := make([]scenario.RunJob, total)
+	scs := make([]scenario.Scenario, total)
+	for job := 0; job < total; job++ {
 		fleet := fleets[job/len(algs)]
 		alg := algs[job%len(algs)]
 		sc := scenario.Scenario{
@@ -72,44 +77,53 @@ func NetworkSparse(cfg Config) *Report {
 			PU:   scenario.PrimaryUsers{Count: 8, Window: 1024, OnFrac: 0.5},
 			Grid: scenario.Grid{Side: math.Sqrt(float64(fleet)), Radius: radius},
 		}
+		metas[job] = cellMeta{fleet: fleet, alg: alg}
+		scs[job] = sc
 		build, err := scenario.BuilderFor(alg, n, sc.Seed+uint64(job%len(algs)))
 		if err != nil {
-			return cell{fleet: fleet, alg: alg, err: err}
+			metas[job].err = err
+			continue
 		}
-		graph, err := sc.ContactGraph()
-		if err != nil {
-			return cell{fleet: fleet, alg: alg, err: err}
+		jobs[job] = scenario.RunJob{Sc: sc, Build: build}
+	}
+	outs := scenario.RunMany(cfg.runner(1200), jobs)
+	for job, out := range outs {
+		c := metas[job]
+		if c.err == nil {
+			c.err = out.Err
 		}
-		res, agents, err := sc.Run(build, 0)
-		if err != nil {
-			return cell{fleet: fleet, alg: alg, err: err}
+		var graph *scenario.ContactGraph
+		if c.err == nil {
+			var err error
+			// ContactGraph is a pure function of the scenario — O(agents)
+			// with the cell grid — so rebuilding it here, outside the
+			// batch, costs noise.
+			graph, err = scs[job].ContactGraph()
+			c.err = err
 		}
-		// SummarizeContact walks the O(agents) contact edges; the
-		// all-pairs Summarize would be the very O(agents²) loop this
-		// experiment exists to retire.
-		return cell{fleet: fleet, alg: alg, edges: graph.Edges(),
-			cov: scenario.SummarizeContact(res, agents, horizon, graph)}
-	})
-	for _, c := range cells {
 		if c.err != nil {
 			rep.Notes = append(rep.Notes, fmt.Sprintf("%s @ %d agents failed: %v", c.alg, c.fleet, c.err))
 			continue
 		}
+		// SummarizeContact walks the O(agents) contact edges; the
+		// all-pairs Summarize would be the very O(agents²) loop this
+		// experiment exists to retire.
+		cov := scenario.SummarizeContact(out.Res, out.Agents, horizon, graph)
 		pairs := c.fleet * (c.fleet - 1) / 2
 		reduce := "-"
-		if c.edges > 0 {
-			reduce = fmt.Sprintf("%.0fx", float64(pairs)/float64(c.edges))
+		if edges := graph.Edges(); edges > 0 {
+			reduce = fmt.Sprintf("%.0fx", float64(pairs)/float64(edges))
 		}
 		rep.Rows = append(rep.Rows, []string{
 			itoa(c.fleet),
 			c.alg,
 			itoa(pairs),
-			itoa(c.edges),
+			itoa(graph.Edges()),
 			reduce,
-			itoa(c.cov.EligiblePairs),
-			itoa(c.cov.MetPairs),
-			fmt.Sprintf("%.1f", 100*c.cov.MetFrac()),
-			fmt.Sprintf("%.0f", c.cov.MeanTTR),
+			itoa(cov.EligiblePairs),
+			itoa(cov.MetPairs),
+			fmt.Sprintf("%.1f", 100*cov.MetFrac()),
+			fmt.Sprintf("%.0f", cov.MeanTTR),
 		})
 	}
 	rep.Notes = append(rep.Notes,

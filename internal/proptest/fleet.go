@@ -129,6 +129,20 @@ func CheckFleetEngines(c FleetCase) error {
 			return fmt.Errorf("time-sharded joint engine (workers=%d) vs oracle: %w", workers, err)
 		}
 	}
+	// Session reuse: re-running through a Session recycles the result
+	// arrays and every pooled scratch buffer from the runs above. The
+	// recycled state must be invisible — each re-run, at each
+	// partition-inducing worker count, must still reproduce the oracle
+	// meeting for meeting.
+	sess := eng.Session()
+	for _, workers := range []int{2, 5} {
+		sess.Reset()
+		if err := sameMeetings(want, ResultMeetings(sess.RunJointParallelEnv(c.Sc.Horizon, workers, env))); err != nil {
+			sess.Close()
+			return fmt.Errorf("session re-run (workers=%d) vs oracle: %w", workers, err)
+		}
+	}
+	sess.Close()
 	// The inverted-index scan never engages on oracle-sized fleets (they
 	// sit far below the crossover floor), so force it: every generated
 	// dynamics combination must agree with the oracle through the

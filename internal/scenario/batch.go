@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"fmt"
+
+	"rendezvous/internal/simulator"
+	"rendezvous/internal/sweep"
+)
+
+// Batched scenario submission: many (fleet, horizon) jobs through one
+// worker pool, all sharing the process-wide table cache. Experiment
+// drivers (NETWORK, NETWORK-SPARSE) and CLI sweeps submit their whole
+// grid here instead of looping Run serially; a future rvserve queues
+// requests into the same shape. This package owns the API (rather than
+// internal/sweep) because sweep must stay import-cycle-free below both
+// scenario and simulator.
+
+// RunJob is one unit of batched work: a scenario plus the builder that
+// realizes its algorithm, run at the given engine worker count (≤ 0
+// means GOMAXPROCS; batch callers usually want 0 for the per-job
+// default or 1 when the batch itself saturates the cores).
+type RunJob struct {
+	Sc      Scenario
+	Build   Builder
+	Workers int
+}
+
+// RunOut is the outcome of one RunJob, index-aligned with the submitted
+// slice.
+type RunOut struct {
+	Res    *simulator.Result
+	Agents []simulator.Agent
+	Err    error
+}
+
+// RunMany executes every job through r's worker pool and returns the
+// outcomes in submission order. Each job is independent (scenarios are
+// pure functions of their seeds) and every engine borrows from the
+// shared table cache, so jobs with equal fleet shapes build their hop
+// tables once across the whole batch. Determinism is unchanged: job
+// outputs do not depend on scheduling, so the result slice is
+// byte-stable at any r.Workers.
+func RunMany(r sweep.Runner, jobs []RunJob) []RunOut {
+	return sweep.Map(r, len(jobs), func(i int) RunOut {
+		if jobs[i].Build == nil {
+			// Callers batch-deriving jobs leave failed derivations empty.
+			return RunOut{Err: fmt.Errorf("scenario: job %d has no builder", i)}
+		}
+		res, agents, err := jobs[i].Sc.Run(jobs[i].Build, jobs[i].Workers)
+		return RunOut{Res: res, Agents: agents, Err: err}
+	})
+}

@@ -250,6 +250,10 @@ func (sc Scenario) Run(build Builder, workers int) (*simulator.Result, []simulat
 	if err != nil {
 		return nil, nil, err
 	}
+	// Close after the run: the engine borrowed its hop tables from the
+	// shared cache, and releasing the pins lets the cache cycle them —
+	// the next Run of an equal-shaped scenario gets them back as hits.
+	defer eng.Close()
 	return eng.RunParallelEnv(sc.Horizon, workers, env), agents, nil
 }
 

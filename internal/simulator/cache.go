@@ -1,0 +1,133 @@
+package simulator
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"rendezvous/internal/tablecache"
+)
+
+// The engine side of the shared table cache (internal/tablecache).
+// Every NewEngine captures the current process-wide cache; compiled hop
+// tables, dense-id tables, and horizon prefix tables are then borrowed
+// from it instead of rebuilt per engine, and Close returns the pins
+// when the engine is done. Schedules without a cache key behave exactly
+// as before — built locally, owned by the engine.
+
+// tableCacheState holds the cache new engines capture. Initialized
+// lazily to tablecache.Shared() so the env-var budget override is read
+// exactly once, at first engine construction.
+var tableCacheState struct {
+	mu   sync.Mutex
+	c    *tablecache.Cache
+	init bool
+}
+
+func currentTableCache() *tablecache.Cache {
+	tableCacheState.mu.Lock()
+	defer tableCacheState.mu.Unlock()
+	if !tableCacheState.init {
+		tableCacheState.c = tablecache.Shared()
+		tableCacheState.init = true
+	}
+	return tableCacheState.c
+}
+
+// SetTableCache replaces the cache captured by subsequent NewEngine
+// calls, returning the previous one. A nil cache disables table sharing
+// (every engine builds privately). Existing engines keep the cache they
+// were built with. It exists for tests and benchmarks that need an
+// isolated or disabled cache; production callers use the shared one.
+func SetTableCache(c *tablecache.Cache) (previous *tablecache.Cache) {
+	tableCacheState.mu.Lock()
+	defer tableCacheState.mu.Unlock()
+	if !tableCacheState.init {
+		tableCacheState.c = tablecache.Shared()
+		tableCacheState.init = true
+	}
+	previous = tableCacheState.c
+	tableCacheState.c = c
+	return previous
+}
+
+// prefixBudget caps the memory the engine spends on horizon-prefix
+// dense tables (schedule.DensePrefix) for schedules whose period is
+// too long to compile: 4 bytes per agent per slot adds up at network
+// scale, so fleets over the budget keep the regenerate-per-block
+// fallback (softened by the rolling block cache below).
+var prefixBudget atomic.Int64
+
+// blockCacheBudget caps the per-engine rolling dense-block cache that
+// backs agents with no dense table at all (beacons, huge-period Random
+// past the prefix budget). Zero disables it.
+var blockCacheBudget atomic.Int64
+
+func init() {
+	prefixBudget.Store(64 << 20)
+	blockCacheBudget.Store(16 << 20)
+}
+
+// SetPrefixBudget sets the horizon-prefix table budget in bytes,
+// returning the previous value. It exists for tests and benchmarks that
+// need to force the no-table fallback paths.
+func SetPrefixBudget(bytes int) (previous int) {
+	return int(prefixBudget.Swap(int64(bytes)))
+}
+
+// SetBlockCacheBudget sets the rolling block cache budget in bytes (0
+// disables), returning the previous value. Engines size their ring from
+// the budget at first use.
+func SetBlockCacheBudget(bytes int) (previous int) {
+	return int(blockCacheBudget.Swap(int64(bytes)))
+}
+
+// pinLocked records a cache pin for Close to release. Zero handles
+// (uncached artifacts) are dropped — releasing them is a no-op, so
+// tracking them would only grow the slice. Caller holds e.mu.
+func (e *Engine) pinLocked(h tablecache.Handle) {
+	if h != (tablecache.Handle{}) {
+		e.handles = append(e.handles, h)
+	}
+}
+
+// uniKeyLocked returns the engine's universe fingerprint — an FNV-1a
+// hash of the sorted hop-set union that scopes dense-table cache keys,
+// since dense ids are positions in that union. Caller holds e.mu.
+func (e *Engine) uniKeyLocked() string {
+	if e.uniKey == "" {
+		const (
+			offset64 = 14695981039346656037
+			prime64  = 1099511628211
+		)
+		h := uint64(offset64)
+		for _, ch := range e.union {
+			v := uint64(ch)
+			for b := 0; b < 8; b++ {
+				h ^= v & 0xff
+				h *= prime64
+				v >>= 8
+			}
+		}
+		h ^= uint64(len(e.union))
+		h *= prime64
+		e.uniKey = strconv.FormatUint(h, 36)
+	}
+	return e.uniKey
+}
+
+// Close releases the engine's pins on shared cache entries, making them
+// evictable. The engine itself remains fully usable — its compiled and
+// dense slices keep their references, and any table the cache later
+// evicts stays valid (entries are immutable). Close is idempotent;
+// callers that run many engines (sweeps, scenario drivers) should call
+// it so the cache can cycle tables under its byte budget.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	hs := e.handles
+	e.handles = nil
+	e.mu.Unlock()
+	for _, h := range hs {
+		h.Release()
+	}
+}

@@ -263,7 +263,7 @@ func (e *Engine) fillBlockWindowClamped(p *runPlan, sc *jointScratch, from, to [
 			hi = a.Leave - base
 		}
 		from[i], to[i] = int32(lo), int32(hi)
-		schedule.FillBlockDense(p.scheds[i], p.dense[i], sc.bufs[i][lo:hi], base+lo-a.Wake, e.id32, sc.raw)
+		e.fillAgentBlock(p, sc, i, lo, hi, base)
 	}
 }
 

@@ -60,7 +60,7 @@ func (e *Engine) RunJointParallel(horizon, workers int) *Result {
 // RunJointParallelEnv is RunJointParallel under an optional
 // Environment; see RunEnv for the availability semantics.
 func (e *Engine) RunJointParallelEnv(horizon, workers int, env Environment) *Result {
-	return e.runJointParallelEnv(horizon, workers, env, e.meetablePairs(horizon))
+	return e.runJointParallelEnvInto(e.newResult(horizon), horizon, workers, env, e.meetablePairs(horizon))
 }
 
 // scanKind selects the sharded scan a run uses. All kinds honor the
@@ -88,12 +88,11 @@ func (k scanKind) route() Route {
 	return RouteSharded
 }
 
-// runJointParallelEnv is the shared body; meetable is the caller's
-// meetablePairs(horizon) count, so routing callers that already
-// counted (RunParallelEnv's crossover test) never scan the pair space
-// twice.
-func (e *Engine) runJointParallelEnv(horizon, workers int, env Environment, meetable int) *Result {
-	res := e.newResult(horizon)
+// runJointParallelEnvInto is the shared body, writing into the
+// caller-owned result; meetable is the caller's meetablePairs(horizon)
+// count, so routing callers that already counted (RunParallelEnv's
+// crossover test) never scan the pair space twice.
+func (e *Engine) runJointParallelEnvInto(res *Result, horizon, workers int, env Environment, meetable int) *Result {
 	if horizon <= 0 {
 		e.setRoute(RouteSerial)
 		return res
@@ -163,7 +162,7 @@ func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env 
 	// meetable pair gets its first hit. Neither influences the Result —
 	// the merge below recomputes exact minima from the per-worker
 	// arrays.
-	seen := make([]uint64, (pairs+63)/64)
+	seen := e.getSeen(pairs)
 	var tmpl, full []uint64
 	if kind == scanInverted || kind == scanInvertedWide {
 		tmpl, full = e.metSeed(horizon)
@@ -171,7 +170,7 @@ func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env 
 	var seenCount atomic.Int64
 	var done atomic.Bool
 	var nextWin atomic.Int64
-	perWorker := make([][]hit32, workers)
+	perWorker := e.getWorkerSets(workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -232,6 +231,39 @@ func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env 
 		h := perWorker[w]
 		e.hitPool.Put(&h)
 	}
+	e.putWorkerSets(perWorker)
+	e.putSeen(seen)
+}
+
+// getSeen returns a zeroed pairs-bit bitset from the engine's pool.
+func (e *Engine) getSeen(pairs int) []uint64 {
+	words := (pairs + 63) / 64
+	sp, _ := e.seenPool.Get().(*[]uint64)
+	if sp == nil || cap(*sp) < words {
+		return make([]uint64, words)
+	}
+	s := (*sp)[:words]
+	clear(s)
+	return s
+}
+
+func (e *Engine) putSeen(s []uint64) { e.seenPool.Put(&s) }
+
+// getWorkerSets returns a length-workers slice of per-worker hit-array
+// slots (contents nil; workers fill them).
+func (e *Engine) getWorkerSets(workers int) [][]hit32 {
+	wp, _ := e.workerPool.Get().(*[][]hit32)
+	if wp == nil || cap(*wp) < workers {
+		return make([][]hit32, workers)
+	}
+	pw := (*wp)[:workers]
+	clear(pw)
+	return pw
+}
+
+func (e *Engine) putWorkerSets(pw [][]hit32) {
+	clear(pw) // the hit arrays went back to hitPool; do not retain them here
+	e.workerPool.Put(&pw)
 }
 
 // setSeenBit atomically sets pair p's bit in the shared seen bitset,

@@ -1,0 +1,117 @@
+package simulator
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rendezvous/internal/tablecache"
+)
+
+// sessionFleet builds a fleet of small-period cyclic hoppers with
+// overlapping channel sets — compilable schedules, so the first run
+// pays table builds and every later run should ride the caches.
+func sessionFleet(t *testing.T, agents int) []Agent {
+	t.Helper()
+	fleet := make([]Agent, agents)
+	for i := range fleet {
+		seq := []int{1 + i%7, 2 + (i*3)%11, 1 + (i*5)%13}
+		fleet[i] = Agent{Name: fmt.Sprintf("s%02d", i), Sched: mustCyclic(t, seq)}
+	}
+	return fleet
+}
+
+// TestSessionSteadyStateAllocs pins the tentpole's amortization claim:
+// once an engine and session are warm, a steady-state re-run allocates
+// at most 1% of what a cold engine-per-run loop allocates — the result
+// arrays, pair state, scratch pools and hop tables all survive.
+func TestSessionSteadyStateAllocs(t *testing.T) {
+	agents := sessionFleet(t, 32)
+	const horizon = 4096
+	defer simRestoreCache(t)()
+
+	var sink int
+	firstRun := testing.AllocsPerRun(5, func() {
+		// A fresh private cache per iteration keeps this the honest
+		// cold path: every engine rebuilds its tables from nothing.
+		SetTableCache(tablecache.New(tablecache.DefaultBudget))
+		eng, err := NewEngine(agents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink += eng.RunEnv(horizon, nil).MetCount()
+		eng.Close()
+	})
+
+	SetTableCache(tablecache.New(tablecache.DefaultBudget))
+	eng, err := NewEngine(agents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	sess := eng.Session()
+	sink += sess.Run(horizon).MetCount() // warm tables, pools, result
+	steady := testing.AllocsPerRun(20, func() {
+		sess.Reset()
+		sink += sess.Run(horizon).MetCount()
+	})
+
+	limit := firstRun / 100
+	if limit < 1 {
+		limit = 1
+	}
+	if steady > limit {
+		t.Fatalf("steady-state session run allocates %.0f objects/op, want <= %.0f (1%% of first-run %.0f)",
+			steady, limit, firstRun)
+	}
+	if sink == 0 {
+		t.Fatal("fleet never met — the runs measured nothing")
+	}
+}
+
+// TestSessionCacheBudgetIndependence is the budget-is-bookkeeping
+// invariant: the same fleet run under a thrashing 1-byte cache, with
+// caching disabled outright, and under a normal budget must produce
+// identical meetings. Cached tables are immutable, so eviction pressure
+// may only cost time, never change a result.
+func TestSessionCacheBudgetIndependence(t *testing.T) {
+	agents := sessionFleet(t, 24)
+	const horizon = 4096
+	defer simRestoreCache(t)()
+
+	run := func(c *tablecache.Cache) []Meeting {
+		SetTableCache(c)
+		eng, err := NewEngine(agents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		sess := eng.Session()
+		defer sess.Close()
+		return sess.Run(horizon).Meetings()
+	}
+
+	want := run(tablecache.New(tablecache.DefaultBudget))
+	if len(want) == 0 {
+		t.Fatal("fleet never met — budgets compared nothing")
+	}
+	for _, tc := range []struct {
+		name  string
+		cache *tablecache.Cache
+	}{
+		{"budget-1", tablecache.New(1)},
+		{"disabled", nil},
+	} {
+		if got := run(tc.cache); !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: meetings diverge from normal-budget run (%d vs %d)", tc.name, len(got), len(want))
+		}
+	}
+}
+
+// simRestoreCache swaps the process cache out and returns a func
+// restoring it, so cache-injecting tests cannot leak state.
+func simRestoreCache(t *testing.T) func() {
+	t.Helper()
+	prev := SetTableCache(tablecache.New(tablecache.DefaultBudget))
+	return func() { SetTableCache(prev) }
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"rendezvous/internal/schedule"
+	"rendezvous/internal/tablecache"
 )
 
 // blockLen is the slot-count granularity of the block evaluators: long
@@ -374,10 +375,16 @@ type Engine struct {
 	// compiled caches per-agent hop tables (schedule.Compile) built
 	// lazily once a run's horizon justifies the one-time unroll cost;
 	// dense caches their int32 dense-id remaps for the joint scans.
-	// mu guards both so concurrent runs stay safe.
+	// Both are borrowed from cache when the schedule has a cache key
+	// (handles tracks the pins; Close releases them); mu guards all of
+	// it so concurrent runs stay safe.
 	mu       sync.Mutex
 	compiled []schedule.Schedule
 	dense    []*schedule.DenseTable
+	cache    *tablecache.Cache
+	handles  []tablecache.Handle
+	uniKey   string // universe fingerprint for dense-table cache scoping
+	ring     *tablecache.BlockRing
 
 	// metSeedTmpl/metSeedFull cache the inverted scan's met-row
 	// template for metSeedHorizon (see metSeed), metRowBase its
@@ -406,6 +413,8 @@ type Engine struct {
 	hitPool    sync.Pool // *[]hit32
 	invPool    sync.Pool // *invertedScratch
 	sparsePool sync.Pool // *sparseScratch
+	seenPool   sync.Pool // *[]uint64 (sharded-scan seen bitsets)
+	workerPool sync.Pool // *[][]hit32 (per-worker hit-array slots)
 }
 
 // NewEngine validates the agents (unique non-empty names, non-negative
@@ -458,6 +467,7 @@ func NewEngine(agents []Agent) (*Engine, error) {
 		union:    union,
 		compiled: make([]schedule.Schedule, n),
 		dense:    make([]*schedule.DenseTable, n),
+		cache:    currentTableCache(),
 	}, nil
 }
 
@@ -539,7 +549,9 @@ func (e *Engine) schedForLocked(i, horizon int) schedule.Schedule {
 	}
 	s := e.agents[i].Sched
 	if p := s.Period(); horizon >= 2*p {
-		e.compiled[i] = schedule.Compile(s)
+		cs, h := e.cache.Compile(s)
+		e.compiled[i] = cs
+		e.pinLocked(h)
 		return e.compiled[i]
 	}
 	return s
@@ -557,14 +569,11 @@ func (e *Engine) id32(ch int) int32 { return int32(e.chIdx.id(ch)) }
 type runPlan struct {
 	scheds []schedule.Schedule
 	dense  []*schedule.DenseTable
+	// ring is the rolling dense-block cache for agents still without any
+	// dense table after the prefix attempt (nil when every agent has
+	// one, or the block cache is disabled).
+	ring *tablecache.BlockRing
 }
-
-// prefixBudget caps the memory the engine spends on horizon-prefix
-// dense tables (schedule.DensePrefix) for schedules whose period is
-// too long to compile: 4 bytes per agent per slot adds up at network
-// scale, so fleets over the budget keep the regenerate-per-block
-// fallback.
-const prefixBudget = 64 << 20
 
 // planFor builds the run plan for the given horizon, caching compiled
 // and dense tables on the engine under mu. Schedules out of reach of
@@ -579,6 +588,7 @@ func (e *Engine) planFor(horizon int) *runPlan {
 		n := len(e.agents)
 		p = &runPlan{scheds: make([]schedule.Schedule, n), dense: make([]*schedule.DenseTable, n)}
 	}
+	p.ring = nil
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	missing := 0
@@ -586,8 +596,9 @@ func (e *Engine) planFor(horizon int) *runPlan {
 		s := e.schedForLocked(i, horizon)
 		p.scheds[i] = s
 		if e.dense[i] == nil {
-			if d, ok := schedule.CompileDense(s, e.id32); ok {
+			if d, h, ok := e.cache.Dense(s, e.uniKeyLocked(), e.id32); ok {
 				e.dense[i] = d
+				e.pinLocked(h)
 			}
 		}
 		p.dense[i] = e.dense[i]
@@ -595,7 +606,7 @@ func (e *Engine) planFor(horizon int) *runPlan {
 			missing++
 		}
 	}
-	if missing > 0 && missing*horizon*4 <= prefixBudget {
+	if missing > 0 && missing*horizon*4 <= int(prefixBudget.Load()) {
 		if e.prefixHorizon != horizon || e.prefixDense == nil {
 			e.prefixDense = make([]*schedule.DenseTable, len(e.agents))
 			e.prefixHorizon = horizon
@@ -609,10 +620,26 @@ func (e *Engine) planFor(horizon int) *runPlan {
 				if scratch == nil {
 					scratch = make([]int, blockLen)
 				}
-				e.prefixDense[i] = schedule.DensePrefix(p.scheds[i], horizon, e.id32, scratch)
+				d, h := e.cache.DensePrefix(p.scheds[i], e.uniKeyLocked(), horizon, e.id32, scratch)
+				e.prefixDense[i] = d
+				e.pinLocked(h)
 			}
 			p.dense[i] = e.prefixDense[i]
 		}
+		missing = 0 // DensePrefix always materializes
+	}
+	if missing > 0 {
+		// Some agents still re-evaluate and re-remap every block (beacons,
+		// huge-period Random past the prefix budget): give the run the
+		// engine's rolling block cache so repeated runs replay those
+		// blocks instead of recomputing them.
+		if e.ring == nil {
+			if budget := blockCacheBudget.Load(); budget > 0 {
+				blocks := int(budget / (4 * blockLen))
+				e.ring = tablecache.NewBlockRing(blocks, blockLen)
+			}
+		}
+		p.ring = e.ring
 	}
 	return p
 }
@@ -673,8 +700,13 @@ func (e *Engine) Run(horizon int) *Result { return e.RunEnv(horizon, nil) }
 // slots where their common channel is available. A nil env means all
 // channels are always available (identical to Run).
 func (e *Engine) RunEnv(horizon int, env Environment) *Result {
+	return e.runEnvInto(e.newResult(horizon), horizon, env)
+}
+
+// runEnvInto is RunEnv writing into a caller-owned result (sessions
+// pass their recycled one; the public entry points pass a fresh one).
+func (e *Engine) runEnvInto(res *Result, horizon int, env Environment) *Result {
 	e.setRoute(RouteSerial)
-	res := e.newResult(horizon)
 	meetable := e.meetablePairs(horizon)
 	if blockEval.Load() {
 		e.runBlock(res, horizon, env, meetable)
@@ -772,8 +804,35 @@ func (e *Engine) fillBlockWindow(p *runPlan, sc *jointScratch, base, m int) {
 		if a.Leave > 0 && a.Leave < base+m {
 			to = a.Leave - base
 		}
-		schedule.FillBlockDense(p.scheds[i], p.dense[i], sc.bufs[i][from:to], base+from-a.Wake, e.id32, sc.raw)
+		e.fillAgentBlock(p, sc, i, from, to, base)
 	}
+}
+
+// fillAgentBlock fills agent i's dense ids for block offsets [from, to)
+// at block base. Agents without any dense table consult the engine's
+// rolling block cache first: a full block computed by an earlier run
+// (or an earlier block sweep at the same local phase) is replayed with
+// one copy instead of re-evaluating and re-remapping the schedule.
+func (e *Engine) fillAgentBlock(p *runPlan, sc *jointScratch, i, from, to, base int) {
+	dst := sc.bufs[i][from:to]
+	start := base + from - e.agents[i].Wake
+	if p.dense[i] == nil && p.ring != nil && from == 0 && to == blockLen {
+		key := blockKey(i, start)
+		if p.ring.Lookup(key, dst) {
+			return
+		}
+		schedule.FillBlockDense(p.scheds[i], nil, dst, start, e.id32, sc.raw)
+		p.ring.Insert(key, dst)
+		return
+	}
+	schedule.FillBlockDense(p.scheds[i], p.dense[i], dst, start, e.id32, sc.raw)
+}
+
+// blockKey identifies a full cached block by (agent id, local start
+// slot). Local starts stay far below 2⁴⁰ for any realistic horizon, so
+// the two never collide within an engine's ring.
+func blockKey(agent, start int) uint64 {
+	return uint64(agent)<<40 | uint64(start)
 }
 
 // runBlock is the joint simulation consuming per-agent dense-id channel
@@ -876,6 +935,10 @@ var pairBufPool = sync.Pool{New: func() any { return new([2 * blockLen]int) }}
 // through the time-sharded joint engine, which computes the identical
 // Result.
 func (e *Engine) RunParallelEnv(horizon, workers int, env Environment) *Result {
+	return e.runParallelEnvInto(e.newResult(horizon), horizon, workers, env)
+}
+
+func (e *Engine) runParallelEnvInto(res *Result, horizon, workers int, env Environment) *Result {
 	useBlocks := blockEval.Load()
 	if useBlocks {
 		// Count before materializing the pair list: on the joint path the
@@ -884,25 +947,26 @@ func (e *Engine) RunParallelEnv(horizon, workers int, env Environment) *Result {
 		meetable := e.meetablePairs(horizon)
 		switch e.jointChoice(meetable) {
 		case chooseJoint:
-			return e.runJointParallelEnv(horizon, workers, env, meetable)
+			return e.runJointParallelEnvInto(res, horizon, workers, env, meetable)
 		case chooseJointProbe:
 			start := time.Now()
-			res := e.runJointParallelEnv(horizon, workers, env, meetable)
+			r := e.runJointParallelEnvInto(res, horizon, workers, env, meetable)
 			e.cal.noteJoint(time.Since(start))
-			return res
+			return r
 		case choosePairwiseTimed:
 			start := time.Now()
-			res := e.runPairwiseEnv(horizon, workers, env, useBlocks)
+			r := e.runPairwiseEnvInto(res, horizon, workers, env, useBlocks)
 			e.cal.notePairwise(time.Since(start))
-			return res
+			return r
 		}
 	}
-	return e.runPairwiseEnv(horizon, workers, env, useBlocks)
+	return e.runPairwiseEnvInto(res, horizon, workers, env, useBlocks)
 }
 
-// runPairwiseEnv is the pairwise decomposition proper: one independent
-// scan per meetable pair, executed by a bounded worker pool.
-func (e *Engine) runPairwiseEnv(horizon, workers int, env Environment, useBlocks bool) *Result {
+// runPairwiseEnvInto is the pairwise decomposition proper: one
+// independent scan per meetable pair, executed by a bounded worker
+// pool, folded into the caller-owned result.
+func (e *Engine) runPairwiseEnvInto(res *Result, horizon, workers int, env Environment, useBlocks bool) *Result {
 	e.setRoute(RoutePairwise)
 	sc, _ := e.pairPool.Get().(*pairScratch)
 	if sc == nil {
@@ -1006,7 +1070,6 @@ func (e *Engine) runPairwiseEnv(horizon, workers int, env Environment, useBlocks
 		}
 		wg.Wait()
 	}
-	res := e.newResult(horizon)
 	for p, h := range found {
 		if h.ok {
 			i, j := pairs[p].i, pairs[p].j

@@ -36,8 +36,10 @@ func (s TTRStats) Mean() float64 {
 // could not amortize; adversarial sweeps, where offsets scan deep into
 // (or fully exhaust) the horizon, compile within the first few offsets
 // and total at most twice the cost of the optimal choice. Compilation
-// never changes results (tables are verified equivalents), and the
-// per-slot reference mode (SetBlockEval(false)) skips it entirely.
+// goes through the shared table cache, so repeated sweeps over the same
+// pair pay the unroll once, ever. It never changes results (tables are
+// verified equivalents), and the per-slot reference mode
+// (SetBlockEval(false)) skips it entirely.
 func SweepOffsets(a, b schedule.Schedule, offsets []int, horizon int) TTRStats {
 	var st TTRStats
 	compileAt := 2 * (a.Period() + b.Period()) // ≈ build + verify cost, in slot evaluations
@@ -45,7 +47,14 @@ func SweepOffsets(a, b schedule.Schedule, offsets []int, horizon int) TTRStats {
 	compiled := false
 	for _, delta := range offsets {
 		if !compiled && scanned >= compileAt && blockEval.Load() {
-			a, b = schedule.Compile(a), schedule.Compile(b)
+			// Through the shared table cache: repeated sweeps over the same
+			// pair (chunked drivers, bench iterations) unroll once, ever.
+			cache := currentTableCache()
+			ca, ha := cache.Compile(a)
+			cb, hb := cache.Compile(b)
+			a, b = ca, cb
+			defer ha.Release()
+			defer hb.Release()
 			compiled = true
 		}
 		st.Samples++

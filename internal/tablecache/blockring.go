@@ -1,0 +1,101 @@
+package tablecache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BlockRing is the rolling dense-block cache for schedules with no
+// materialized table at all — beacons and huge-period Random schedules
+// that fall past both the compile cap and the prefix budget and would
+// otherwise re-evaluate and re-remap every 256-slot block on every run.
+// It keeps the most-recent-N full blocks of dense channel ids in a
+// fixed flat buffer, FIFO-evicted, keyed by (agent, block start). The
+// win is across repeated runs over one engine (sessions, sweeps): run k
+// replays the blocks run k−1 computed.
+type BlockRing struct {
+	mu       sync.Mutex
+	blockLen int
+	index    map[uint64]int32 // key -> slot
+	keys     []uint64         // slot -> key, valid where used
+	used     []bool
+	data     []int32 // blocks*blockLen, slot-major
+	next     int     // FIFO cursor
+}
+
+// Process-wide counters, aggregated across every ring; engines come and
+// go with their rings, so per-ring stats would vanish with them.
+var blockHits, blockMisses, blockEvictions atomic.Int64
+
+// BlockStats returns the process-wide rolling block-cache counters
+// (Entries and Bytes are per-ring notions and stay zero here).
+func BlockStats() Stats {
+	return Stats{
+		Hits:      blockHits.Load(),
+		Misses:    blockMisses.Load(),
+		Evictions: blockEvictions.Load(),
+	}
+}
+
+// NewBlockRing builds a ring holding up to blocks full blockLen-slot
+// blocks (at least one).
+func NewBlockRing(blocks, blockLen int) *BlockRing {
+	if blocks < 1 {
+		blocks = 1
+	}
+	return &BlockRing{
+		blockLen: blockLen,
+		index:    make(map[uint64]int32, blocks),
+		keys:     make([]uint64, blocks),
+		used:     make([]bool, blocks),
+		data:     make([]int32, blocks*blockLen),
+	}
+}
+
+// Blocks returns the ring's capacity in blocks.
+func (r *BlockRing) Blocks() int { return len(r.keys) }
+
+// Lookup copies the cached block for key into dst (len blockLen) and
+// reports whether it was present.
+func (r *BlockRing) Lookup(key uint64, dst []int32) bool {
+	r.mu.Lock()
+	slot, ok := r.index[key]
+	if ok {
+		off := int(slot) * r.blockLen
+		copy(dst, r.data[off:off+r.blockLen])
+	}
+	r.mu.Unlock()
+	if ok {
+		blockHits.Add(1)
+	} else {
+		blockMisses.Add(1)
+	}
+	return ok
+}
+
+// Insert caches a full block under key, displacing the oldest resident
+// block. Partial blocks and duplicate keys (two workers computing the
+// same block concurrently) are ignored.
+func (r *BlockRing) Insert(key uint64, src []int32) {
+	if len(src) != r.blockLen {
+		return
+	}
+	r.mu.Lock()
+	if _, dup := r.index[key]; dup {
+		r.mu.Unlock()
+		return
+	}
+	slot := r.next
+	if r.used[slot] {
+		delete(r.index, r.keys[slot])
+		blockEvictions.Add(1)
+	}
+	r.keys[slot] = key
+	r.used[slot] = true
+	copy(r.data[slot*r.blockLen:(slot+1)*r.blockLen], src)
+	r.index[key] = int32(slot)
+	if r.next++; r.next == len(r.keys) {
+		r.next = 0
+	}
+	r.mu.Unlock()
+}

@@ -1,0 +1,282 @@
+package tablecache
+
+import (
+	"fmt"
+	"testing"
+
+	"rendezvous/internal/schedule"
+)
+
+func mustCyclic(t *testing.T, seq []int) *schedule.Cyclic {
+	t.Helper()
+	c, err := schedule.NewCyclic(seq)
+	if err != nil {
+		t.Fatalf("NewCyclic(%v): %v", seq, err)
+	}
+	return c
+}
+
+func seq(base, n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = base + i
+	}
+	return xs
+}
+
+func TestCompileSharesTables(t *testing.T) {
+	c := New(1 << 20)
+	a := mustCyclic(t, seq(1, 16))
+	b := mustCyclic(t, seq(1, 16)) // distinct value, equal parameters
+
+	ca, ha := c.Compile(a)
+	cb, hb := c.Compile(b)
+	defer ha.Release()
+	defer hb.Release()
+
+	if ca != cb {
+		t.Fatalf("equal-parameter schedules got distinct compiled tables")
+	}
+	if _, ok := ca.(*schedule.Compiled); !ok {
+		t.Fatalf("Compile returned %T, want *schedule.Compiled", ca)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats after shared compile = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	for slot := 0; slot < 40; slot++ {
+		if got, want := ca.Channel(slot), a.Channel(slot); got != want {
+			t.Fatalf("cached table: channel(%d) = %d, want %d", slot, got, want)
+		}
+	}
+}
+
+func TestNilCachePassesThrough(t *testing.T) {
+	var c *Cache
+	s := mustCyclic(t, seq(1, 8))
+	cs, h := c.Compile(s)
+	h.Release() // zero handle must be a no-op
+	if _, ok := cs.(*schedule.Compiled); !ok {
+		t.Fatalf("nil cache Compile returned %T, want *schedule.Compiled", cs)
+	}
+	if got := c.Stats(); got != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v, want zero", got)
+	}
+}
+
+func TestUnkeyedSchedulePassesThrough(t *testing.T) {
+	c := New(1 << 20)
+	// A raw func-backed schedule has no CacheKey.
+	s := scheduleFunc{}
+	cs, h := c.Compile(s)
+	h.Release()
+	if _, ok := cs.(*schedule.Compiled); !ok {
+		t.Fatalf("unkeyed Compile returned %T, want *schedule.Compiled", cs)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("unkeyed schedule was cached: %+v", st)
+	}
+}
+
+// scheduleFunc is a minimal keyless schedule: constant channel 3.
+type scheduleFunc struct{}
+
+func (scheduleFunc) Channel(t int) int { return 3 }
+func (scheduleFunc) Period() int       { return 4 }
+func (scheduleFunc) Channels() []int   { return []int{3} }
+
+// TestEvictionUnderPressure is the cache-eviction-under-pressure check:
+// a budget far below one table forces every unpinned entry out, counts
+// evictions, and the returned tables stay correct throughout.
+func TestEvictionUnderPressure(t *testing.T) {
+	c := New(1) // 1 byte: nothing unpinned survives
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 4; i++ {
+			s := mustCyclic(t, seq(10*i+1, 8))
+			cs, h := c.Compile(s)
+			for slot := 0; slot < 16; slot++ {
+				if got, want := cs.Channel(slot), s.Channel(slot); got != want {
+					t.Fatalf("round %d sched %d: channel(%d) = %d, want %d", round, i, slot, got, want)
+				}
+			}
+			// Pinned entries may hold the cache over budget...
+			if st := c.Stats(); st.Entries == 0 {
+				t.Fatalf("pinned entry evicted: %+v", st)
+			}
+			h.Release()
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("over-budget cache retained entries after release: %+v", st)
+	}
+	if st.Evictions < 12 {
+		t.Fatalf("evictions = %d, want >= 12 (every release past budget evicts)", st.Evictions)
+	}
+	if st.Hits != 0 {
+		t.Fatalf("hits = %d, want 0 (budget 1 can never retain)", st.Hits)
+	}
+}
+
+func TestLRUEvictsColdestFirst(t *testing.T) {
+	// Each 8-slot Cyclic compiles to an 8-entry table = 64 bytes;
+	// budget fits exactly two.
+	c := New(128)
+	a := mustCyclic(t, seq(1, 8))
+	b := mustCyclic(t, seq(21, 8))
+	d := mustCyclic(t, seq(41, 8))
+
+	_, ha := c.Compile(a)
+	_, hb := c.Compile(b)
+	ha.Release()
+	hb.Release()
+	// Touch a so b is coldest, then insert d to force one eviction.
+	_, ha = c.Compile(a)
+	ha.Release()
+	_, hd := c.Compile(d)
+	hd.Release()
+
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want exactly 1 eviction / 2 entries", st)
+	}
+	_, ha = c.Compile(a)
+	ha.Release()
+	if st := c.Stats(); st.Hits != 2 {
+		t.Fatalf("a was evicted instead of b: %+v", st)
+	}
+}
+
+func TestDenseScopesByUniverse(t *testing.T) {
+	c := New(1 << 20)
+	s := mustCyclic(t, seq(1, 8))
+	cs, h := c.Compile(s)
+	defer h.Release()
+	ident := func(ch int) int32 { return int32(ch) }
+	shift := func(ch int) int32 { return int32(ch + 100) }
+
+	d1, h1, ok1 := c.Dense(cs, "uniA", ident)
+	d2, h2, ok2 := c.Dense(cs, "uniA", ident)
+	d3, h3, ok3 := c.Dense(cs, "uniB", shift)
+	defer h1.Release()
+	defer h2.Release()
+	defer h3.Release()
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("Dense ok = %v %v %v, want all true", ok1, ok2, ok3)
+	}
+	if d1 != d2 {
+		t.Fatalf("same scope returned distinct dense tables")
+	}
+	if d1 == d3 {
+		t.Fatalf("different scopes shared a dense table")
+	}
+	if _, _, ok := c.Dense(s, "uniA", ident); ok {
+		t.Fatalf("Dense accepted an uncompiled schedule")
+	}
+}
+
+func TestDensePrefixScopesBySlots(t *testing.T) {
+	c := New(1 << 20)
+	s := mustCyclic(t, seq(1, 8))
+	ident := func(ch int) int32 { return int32(ch) }
+	scratch := make([]int, 256)
+
+	p1, h1 := c.DensePrefix(s, "uni", 512, ident, scratch)
+	p2, h2 := c.DensePrefix(s, "uni", 512, ident, scratch)
+	p3, h3 := c.DensePrefix(s, "uni", 1024, ident, scratch)
+	defer h1.Release()
+	defer h2.Release()
+	defer h3.Release()
+	if p1 != p2 {
+		t.Fatalf("same (scope, slots) returned distinct prefix tables")
+	}
+	if p1 == p3 {
+		t.Fatalf("different horizons shared a prefix table")
+	}
+	if p1.Len() != 512 || p3.Len() != 1024 {
+		t.Fatalf("prefix lengths = %d, %d; want 512, 1024", p1.Len(), p3.Len())
+	}
+}
+
+func TestConcurrentCompile(t *testing.T) {
+	c := New(1 << 20)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			var err error
+			for i := 0; i < 50 && err == nil; i++ {
+				s := mustCyclicErr(seq(10*(i%5)+1, 8))
+				cs, h := c.Compile(s)
+				if got, want := cs.Channel(3), s.Channel(3); got != want {
+					err = fmt.Errorf("channel(3) = %d, want %d", got, want)
+				}
+				h.Release()
+			}
+			done <- err
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Entries != 5 {
+		t.Fatalf("entries = %d, want 5", st.Entries)
+	}
+}
+
+func mustCyclicErr(seq []int) *schedule.Cyclic {
+	c, err := schedule.NewCyclic(seq)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestBlockRing(t *testing.T) {
+	before := BlockStats()
+	r := NewBlockRing(2, 4)
+	blk := func(v int32) []int32 { return []int32{v, v + 1, v + 2, v + 3} }
+	dst := make([]int32, 4)
+
+	if r.Lookup(1, dst) {
+		t.Fatalf("lookup hit on empty ring")
+	}
+	r.Insert(1, blk(10))
+	r.Insert(2, blk(20))
+	if !r.Lookup(1, dst) || dst[0] != 10 || dst[3] != 13 {
+		t.Fatalf("block 1 = %v, want [10 11 12 13]", dst)
+	}
+	r.Insert(2, blk(99)) // duplicate key: ignored
+	if !r.Lookup(2, dst) || dst[0] != 20 {
+		t.Fatalf("duplicate insert replaced block 2: %v", dst)
+	}
+	r.Insert(3, blk(30)) // displaces key 1 (FIFO)
+	if r.Lookup(1, dst) {
+		t.Fatalf("oldest block survived FIFO eviction")
+	}
+	if !r.Lookup(3, dst) || dst[0] != 30 {
+		t.Fatalf("block 3 = %v, want [30 31 32 33]", dst)
+	}
+	r.Insert(4, blk(40)[:3]) // partial block: never cached
+	if r.Lookup(4, dst) {
+		t.Fatalf("partial block was cached")
+	}
+
+	after := BlockStats()
+	if hits := after.Hits - before.Hits; hits != 3 {
+		t.Fatalf("ring hits = %d, want 3", hits)
+	}
+	if ev := after.Evictions - before.Evictions; ev != 1 {
+		t.Fatalf("ring evictions = %d, want 1", ev)
+	}
+	if r.Blocks() != 2 {
+		t.Fatalf("Blocks() = %d, want 2", r.Blocks())
+	}
+}
+
+func TestBlockRingMinimumCapacity(t *testing.T) {
+	r := NewBlockRing(0, 4)
+	if r.Blocks() != 1 {
+		t.Fatalf("Blocks() = %d, want 1", r.Blocks())
+	}
+}

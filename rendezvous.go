@@ -95,6 +95,15 @@ type Engine = simulator.Engine
 // slot) — that purity is what keeps Run and RunParallel identical.
 type Environment = simulator.Environment
 
+// Session is a reusable run context on an Engine (Engine.Session): it
+// recycles the result arrays across runs, so re-running a fleet shape
+// with new horizons or environments allocates ~nothing at steady state.
+// The engine builds its hop tables once — borrowing from a process-wide
+// cache shared with every other engine of equal shape — and Session
+// re-runs then cost only the scan itself. Not safe for concurrent use;
+// open one session per goroutine.
+type Session = simulator.Session
+
 // Scenario describes a network-scale workload: a fleet whose channel
 // sets, wake offsets and churn are derived deterministically from a
 // seed, plus environment dynamics (primary users, jammer). Build
