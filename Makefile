@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: build build-examples fmt-check vet lint test race bench bench-smoke ci \
 	fuzz-smoke cover golden golden-thrash bench-json bench-json-smoke \
-	bench-compare bench-compare-smoke
+	bench-compare bench-compare-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -73,9 +73,11 @@ bench-json-smoke:
 # overwritten by the same-day run), and diff them with cmd/benchjson
 # -compare. Selection and content both come from HEAD (ls-tree, not
 # ls-files) so a freshly staged-but-uncommitted point never selects a
-# baseline `git show HEAD:` cannot produce. Thresholds are percentages;
+# baseline `git show HEAD:` cannot produce. The glob is applied by
+# grep, not as a pathspec — git ls-tree wildcard matching varies by
+# git version (2.39 matches nothing). Thresholds are percentages;
 # override for noisy hosts.
-BENCH_BASE ?= $(shell git ls-tree --name-only HEAD -- 'BENCH_*.json' | sort | tail -1)
+BENCH_BASE ?= $(shell git ls-tree --name-only HEAD | grep '^BENCH_.*\.json$$' | sort | tail -1)
 BENCH_FAIL_OVER ?= 5
 BENCH_FAIL_ALLOCS_OVER ?= 10
 BENCH_FAIL_BYTES_OVER ?= 10
@@ -84,12 +86,22 @@ BENCH_FAIL_BYTES_OVER ?= 10
 # fails on falls — the inverted-engine bench may not silently lose 10%
 # of its slot rate.
 BENCH_METRIC_GATES ?= slots/sec=-10
+# Absolute floors under the percentage gates (benchjson
+# -min-ns-delta/-min-allocs-delta/-min-bytes-delta): a percentage of a
+# tiny count is noise, so a violation also needs this much real
+# movement.
+BENCH_MIN_NS_DELTA ?= 0
+BENCH_MIN_ALLOCS_DELTA ?= 8
+BENCH_MIN_BYTES_DELTA ?= 256
 bench-compare: bench-json
 	@test -n "$(BENCH_BASE)" || { echo "no committed BENCH_*.json baseline"; exit 1; }
 	@git show HEAD:$(BENCH_BASE) > bench-base.json
 	$(GO) run ./cmd/benchjson -compare -fail-over $(BENCH_FAIL_OVER) \
 		-fail-allocs-over $(BENCH_FAIL_ALLOCS_OVER) \
 		-fail-bytes-over $(BENCH_FAIL_BYTES_OVER) \
+		-min-ns-delta $(BENCH_MIN_NS_DELTA) \
+		-min-allocs-delta $(BENCH_MIN_ALLOCS_DELTA) \
+		-min-bytes-delta $(BENCH_MIN_BYTES_DELTA) \
 		$(foreach g,$(BENCH_METRIC_GATES),-fail-metric-over $(g)) \
 		bench-base.json $(BENCH_JSON) \
 		|| { rm -f bench-base.json; exit 1; }
@@ -97,11 +109,17 @@ bench-compare: bench-json
 
 # CI variant: one iteration per benchmark. Single-iteration wall times
 # swing wildly on shared runners, so the ns and slots/sec gates are
-# wide open there and the allocs and B/op gates (deterministic at fixed
-# code) do the real work.
+# wide open there, and single-iteration allocation counts for
+# multi-goroutine benchmarks move by a goroutine stack or one
+# per-worker scratch buffer depending on scheduling — the absolute
+# floors widen to sit above that noise. Real regressions this repo
+# gates on (thousands of allocs, MBs per op) still trip it; the tight
+# floors apply on full `make bench-compare` runs.
 bench-compare-smoke:
 	$(MAKE) bench-compare BENCHTIME=1x BENCH_FAIL_OVER=900 \
 		BENCH_FAIL_ALLOCS_OVER=25 BENCH_FAIL_BYTES_OVER=25 \
+		BENCH_MIN_NS_DELTA=1000000 \
+		BENCH_MIN_ALLOCS_DELTA=128 BENCH_MIN_BYTES_DELTA=2097152 \
 		BENCH_METRIC_GATES=slots/sec=-90
 
 # Time-boxed coverage-guided fuzzing over the property oracles
@@ -151,7 +169,15 @@ golden-thrash:
 	RV_TABLECACHE_BUDGET=1 $(GO) test -run 'TestGolden' ./internal/experiments ./cmd/rvsim -count=1
 	RV_TABLECACHE_BUDGET=1 $(GO) test -run 'TestExamplesRunToCompletion' ./examples -count=1
 
+# End-to-end daemon smoke: boot rvserve on an ephemeral port, drive it
+# with rvload, and assert the service contract — byte-identical check
+# hashes across a daemon restart and a 1→8 worker change, nonzero
+# table-cache hits, pinned=0 on every drain, and a throughput floor
+# (SMOKE_MIN_RPS, default 1000 req/s) with p99 latency reported.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
 # The exact sequence CI runs; keep local and CI invocations identical.
 # bench-compare-smoke subsumes bench-json-smoke (it regenerates the
 # trajectory point, then gates it against the committed baseline).
-ci: fmt-check vet build build-examples race cover golden-thrash bench-compare-smoke
+ci: fmt-check vet build build-examples race cover golden-thrash serve-smoke bench-compare-smoke

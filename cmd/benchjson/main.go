@@ -76,8 +76,11 @@ func run(args []string, in io.Reader, echo io.Writer) error {
 	date := fs.String("date", time.Now().Format("2006-01-02"), "date stamp recorded in the file")
 	compare := fs.Bool("compare", false, "compare two trajectory files: benchjson -compare old.json new.json")
 	failOver := fs.Float64("fail-over", -1, "compare mode: fail when any ns/op regression exceeds this percentage (negative = report only)")
+	minNs := fs.Float64("min-ns-delta", 0, "compare mode: absolute ns/op movement the percentage gate also requires")
 	failAllocsOver := fs.Float64("fail-allocs-over", -1, "compare mode: fail when any allocs/op regression exceeds this percentage (negative = report only)")
 	failBytesOver := fs.Float64("fail-bytes-over", -1, "compare mode: fail when any B/op regression exceeds this percentage (negative = report only)")
+	minAllocs := fs.Float64("min-allocs-delta", defaultMinAllocsDelta, "compare mode: absolute allocs/op movement the percentage gate also requires")
+	minBytes := fs.Float64("min-bytes-delta", defaultMinBytesDelta, "compare mode: absolute B/op movement the percentage gate also requires")
 	metricOver := metricGates{}
 	fs.Var(metricOver, "fail-metric-over", "compare mode, repeatable: unit=pct gates a reported metric, sign-aware — slots/sec=-10 fails on a >10% fall, waste/op=10 on a >10% rise")
 	if err := fs.Parse(args); err != nil {
@@ -98,7 +101,11 @@ func run(args []string, in io.Reader, echo io.Writer) error {
 			defer f.Close()
 			w = f
 		}
-		g := gateSpec{ns: *failOver, allocs: *failAllocsOver, bytes: *failBytesOver, metric: metricOver}
+		g := gateSpec{
+			ns: *failOver, allocs: *failAllocsOver, bytes: *failBytesOver,
+			minNs: *minNs, minAllocs: *minAllocs, minBytes: *minBytes,
+			metric: metricOver,
+		}
 		return runCompare(fs.Arg(0), fs.Arg(1), g, w)
 	}
 	f, err := parse(io.TeeReader(in, echo))
@@ -212,14 +219,21 @@ func loadFile(path string) (*File, error) {
 // benchKey identifies a benchmark across trajectory points.
 func benchKey(b Benchmark) string { return b.Pkg + "\x00" + b.Name }
 
-// minAllocsDelta is the absolute allocs/op movement below which the
-// percentage gate stays quiet; see the comment at its use.
-const minAllocsDelta = 8
+// defaultMinAllocsDelta is the absolute allocs/op movement below which
+// the percentage gate stays quiet; see the comment at its use. Both
+// floors are -min-allocs-delta/-min-bytes-delta flags because the
+// right value depends on how the numbers were measured: amortized
+// multi-iteration runs want them tight, while single-iteration smoke
+// runs of multi-goroutine benchmarks see a goroutine stack or a
+// per-worker scratch buffer land on either side of the measurement
+// window and need room for that scheduling noise.
+const defaultMinAllocsDelta = 8
 
-// minBytesDelta plays the same role for the B/op gate: a percentage of
-// a small byte count is noise (one pooled buffer surviving differently
-// across runs), so the gate also wants a real absolute movement.
-const minBytesDelta = 256
+// defaultMinBytesDelta plays the same role for the B/op gate: a
+// percentage of a small byte count is noise (one pooled buffer
+// surviving differently across runs), so the gate also wants a real
+// absolute movement.
+const defaultMinBytesDelta = 256
 
 // metricGates accumulates repeated -fail-metric-over unit=pct flags.
 // The percentage's sign picks the regression direction: positive gates
@@ -253,10 +267,13 @@ func (m metricGates) Set(s string) error {
 // bytes follow the original convention (negative = report only);
 // metric maps a unit to its sign-aware threshold.
 type gateSpec struct {
-	ns     float64
-	allocs float64
-	bytes  float64
-	metric metricGates
+	ns        float64
+	allocs    float64
+	bytes     float64
+	minNs     float64 // absolute ns/op floor under the percentage gate
+	minAllocs float64 // absolute allocs/op floor under the percentage gate
+	minBytes  float64 // absolute B/op floor under the percentage gate
+	metric    metricGates
 }
 
 // runCompare renders the per-benchmark delta table between two
@@ -309,16 +326,21 @@ func runCompare(oldPath, newPath string, g gateSpec, out io.Writer) error {
 		fmt.Fprintf(w, "%-56s %14.0f %14.0f %9s %10s %10s %9s\n",
 			nb.Name, ob.NsPerOp, nb.NsPerOp, fmtPct(nsDelta),
 			fmtVal(oldAllocs, okOld), fmtVal(newAllocs, okNew), fmtPct(allocsDelta))
-		if g.ns >= 0 && !math.IsNaN(nsDelta) && nsDelta > g.ns {
+		// The ns floor defaults to 0 (any movement counts); the
+		// single-iteration CI smoke raises it so a scheduler preemption
+		// landing inside a microsecond-scale benchmark cannot read as a
+		// thousand-percent wall regression.
+		if g.ns >= 0 && !math.IsNaN(nsDelta) && nsDelta > g.ns &&
+			nb.NsPerOp-ob.NsPerOp > g.minNs {
 			violations = append(violations,
 				fmt.Sprintf("%s: ns/op %+.1f%% exceeds %.1f%%", nb.Name, nsDelta, g.ns))
 		}
 		// Percentage alone misfires on tiny counts (2 → 3 allocs is
 		// "+50%" but usually a one-time pool or cache warm-up caught by
 		// a single-iteration run), so the allocs gate also requires an
-		// absolute movement of more than minAllocsDelta.
+		// absolute movement of more than g.minAllocs.
 		if g.allocs >= 0 && !math.IsNaN(allocsDelta) && allocsDelta > g.allocs &&
-			newAllocs-oldAllocs > minAllocsDelta {
+			newAllocs-oldAllocs > g.minAllocs {
 			violations = append(violations,
 				fmt.Sprintf("%s: allocs/op %+.1f%% exceeds %.1f%%", nb.Name, allocsDelta, g.allocs))
 		}
@@ -339,7 +361,7 @@ func runCompare(oldPath, newPath string, g gateSpec, out io.Writer) error {
 				continue
 			}
 			if unit == "B/op" {
-				if g.bytes >= 0 && d > g.bytes && nv-ov > minBytesDelta {
+				if g.bytes >= 0 && d > g.bytes && nv-ov > g.minBytes {
 					violations = append(violations,
 						fmt.Sprintf("%s: B/op %+.1f%% exceeds %.1f%%", nb.Name, d, g.bytes))
 				}

@@ -260,7 +260,7 @@ func TestCompareMetricGates(t *testing.T) {
 }
 
 // TestCompareBytesGate: the B/op gate needs both the percentage and an
-// absolute movement past minBytesDelta, mirroring the allocs rule.
+// absolute movement past the minBytes floor, mirroring the allocs rule.
 func TestCompareBytesGate(t *testing.T) {
 	dir := t.TempDir()
 	old := writeTrajectory(t, dir, "old.json", "a", []Benchmark{
@@ -272,12 +272,21 @@ func TestCompareBytesGate(t *testing.T) {
 		benchM("p", "BenchmarkTiny", 1000, map[string]float64{"B/op": 150}),
 	})
 	var out strings.Builder
-	err := runCompare(old, new, gateSpec{ns: -1, allocs: -1, bytes: 10}, &out)
+	err := runCompare(old, new, gateSpec{ns: -1, allocs: -1, bytes: 10,
+		minBytes: defaultMinBytesDelta}, &out)
 	if err == nil {
 		t.Fatalf("3x B/op passed a 10%% gate:\n%s", out.String())
 	}
 	if strings.Contains(out.String(), "BenchmarkTiny: B/op") {
-		t.Fatalf("+100 bytes is under minBytesDelta and must not gate:\n%s", out.String())
+		t.Fatalf("+100 bytes is under the default floor and must not gate:\n%s", out.String())
+	}
+	// A zero floor removes the absolute requirement: now the tiny
+	// movement gates too — the knob the single-iteration CI smoke turns
+	// the other way.
+	out.Reset()
+	err = runCompare(old, new, gateSpec{ns: -1, allocs: -1, bytes: 10}, &out)
+	if err == nil || !strings.Contains(out.String(), "BenchmarkTiny: B/op") {
+		t.Fatalf("zero floor should gate the +100 byte movement:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "BenchmarkBig: B/op") {
 		t.Fatalf("B/op violation missing:\n%s", out.String())
@@ -285,6 +294,41 @@ func TestCompareBytesGate(t *testing.T) {
 	// Report-only default leaves the same movement ungated.
 	if err := runCompare(old, new, gateSpec{ns: -1, allocs: -1, bytes: -1}, &out); err != nil {
 		t.Fatalf("report-only bytes gate failed: %v", err)
+	}
+}
+
+// TestCompareNsFloor: with a -min-ns-delta floor the ns/op percentage
+// gate also wants a real absolute movement, so a microsecond-scale
+// benchmark absorbing one scheduler preemption in a single-iteration
+// run cannot read as a wall regression while a slow benchmark's
+// genuine slide still gates.
+func TestCompareNsFloor(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTrajectory(t, dir, "old.json", "a", []Benchmark{
+		bench("p", "BenchmarkMicro", 10_000, 5),
+		bench("p", "BenchmarkSlow", 50_000_000, 5),
+	})
+	new := writeTrajectory(t, dir, "new.json", "b", []Benchmark{
+		bench("p", "BenchmarkMicro", 300_000, 5),    // +2900%, but only +290µs
+		bench("p", "BenchmarkSlow", 600_000_000, 5), // 12x, +550ms
+	})
+	var out strings.Builder
+	err := runCompare(old, new, gateSpec{ns: 900, allocs: -1, bytes: -1,
+		minNs: 1_000_000}, &out)
+	if err == nil {
+		t.Fatalf("12x on a slow benchmark passed the gate:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "BenchmarkMicro: ns/op") {
+		t.Fatalf("+290µs is under the 1ms floor and must not gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkSlow: ns/op") {
+		t.Fatalf("ns/op violation missing:\n%s", out.String())
+	}
+	// Zero floor (the default): the micro movement gates too.
+	out.Reset()
+	err = runCompare(old, new, gateSpec{ns: 900, allocs: -1, bytes: -1}, &out)
+	if err == nil || !strings.Contains(out.String(), "BenchmarkMicro: ns/op") {
+		t.Fatalf("zero floor should gate the micro benchmark:\n%s", out.String())
 	}
 }
 

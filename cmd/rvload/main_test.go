@@ -1,0 +1,88 @@
+package main
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"rendezvous/internal/serve"
+)
+
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := serve.NewServer(serve.Config{Workers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Drain(time.Minute)
+	})
+	return ts
+}
+
+var checkLine = regexp.MustCompile(`sha256=([0-9a-f]{64})`)
+
+func checkHash(t *testing.T, ts *httptest.Server, mode string, n int) string {
+	t.Helper()
+	var sb strings.Builder
+	err := run([]string{"-url", ts.URL, "-mode", mode, "-check", strconv.Itoa(n), "-seed", "7"}, &sb)
+	if err != nil {
+		t.Fatalf("check %s: %v\noutput: %s", mode, err, sb.String())
+	}
+	m := checkLine.FindStringSubmatch(sb.String())
+	if m == nil {
+		t.Fatalf("no hash in output: %s", sb.String())
+	}
+	return m[1]
+}
+
+// TestCheckModeDeterministic: the hash is stable across repeat runs
+// (cold then warm cache) in both modes — the property serve-smoke
+// asserts across daemon restarts and worker counts.
+func TestCheckModeDeterministic(t *testing.T) {
+	ts := newBackend(t)
+	for _, mode := range []string{"schedule", "jobs"} {
+		h1 := checkHash(t, ts, mode, 8)
+		h2 := checkHash(t, ts, mode, 8)
+		if h1 != h2 {
+			t.Fatalf("mode %s: hash changed between runs: %s vs %s", mode, h1, h2)
+		}
+	}
+}
+
+func TestLoadModeReportsLatency(t *testing.T) {
+	ts := newBackend(t)
+	var sb strings.Builder
+	err := run([]string{
+		"-url", ts.URL, "-mode", "schedule",
+		"-rate", "500", "-duration", "300ms", "-c", "4", "-stats",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("load run: %v\noutput: %s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"achieved=", "p50=", "p99=", "p999=", "errors=0", "rvload: stats hits="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("load output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := map[string][]string{
+		"missing-url":  {"-mode", "schedule"},
+		"bad-mode":     {"-url", "http://x", "-mode", "nope"},
+		"bad-rate":     {"-url", "http://x", "-rate", "0"},
+		"bad-conc":     {"-url", "http://x", "-c", "0"},
+		"bad-duration": {"-url", "http://x", "-duration", "-1s"},
+		"bad-check":    {"-url", "http://x", "-check", "-1"},
+	}
+	for name, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command rvserve is the long-running rendezvous service: schedule
+// generation and simulation jobs over HTTP/JSON, built on engine
+// sessions and the shared table cache so repeated requests reuse
+// compiled hop tables instead of rebuilding them.
+//
+//	rvserve -addr 127.0.0.1:8080 -workers 8
+//
+// Endpoints (see internal/serve):
+//
+//	POST /v1/schedule     one agent's hop sequence (deterministic)
+//	POST /v1/jobs         submit a scenario simulation (idempotent)
+//	GET  /v1/jobs/{id}    job status and result
+//	GET  /v1/stats        cache, queue, and per-route latency counters
+//	GET  /v1/healthz      liveness
+//
+// On SIGINT/SIGTERM the server stops accepting work, lets in-flight
+// and queued jobs finish under the -drain deadline (queued jobs past
+// it are reported aborted), closes every engine, and prints a drain
+// report. A nonzero pinned count in that report is a table-cache pin
+// leak and makes the exit status nonzero.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rendezvous/internal/serve"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, sig); err != nil {
+		fmt.Fprintln(os.Stderr, "rvserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a signal arrives or the
+// listener fails. It is the whole program behind flag parsing, taking
+// the signal channel so tests can drive shutdown.
+func run(args []string, out io.Writer, sig <-chan os.Signal) error {
+	fs := flag.NewFlagSet("rvserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	workers := fs.Int("workers", 0, "job worker pool size (0 = one per CPU)")
+	queue := fs.Int("queue", 1024, "job queue depth; a full queue rejects submissions")
+	sessions := fs.Int("sessions", 8, "engine sessions cached per worker, keyed by fleet shape")
+	drain := fs.Duration("drain", 30*time.Second, "shutdown deadline for queued jobs")
+	maxSlots := fs.Int("max-slots", 65536, "largest hop table /v1/schedule returns")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *drain < 0 {
+		return fmt.Errorf("-drain %s: deadline must be non-negative", *drain)
+	}
+
+	srv := serve.NewServer(serve.Config{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		SessionsPerWorker: *sessions,
+		MaxScheduleSlots:  *maxSlots,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		// The pool is already running; release it before reporting.
+		srv.Drain(0)
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	st := srv.Manager().Stats()
+	fmt.Fprintf(out, "rvserve: listening on %s (workers=%d queue=%d)\n",
+		ln.Addr(), st.Workers, st.QueueCapacity)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		srv.Drain(0)
+		return fmt.Errorf("serve: %w", err)
+	case s := <-sig:
+		fmt.Fprintf(out, "rvserve: %v, draining (deadline %s)\n", s, *drain)
+	}
+
+	// Two-stage drain: stop the HTTP side first so no new jobs can
+	// arrive, then let the worker pool finish what it holds.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(out, "rvserve: http shutdown: %v\n", err)
+	}
+	rep := srv.Drain(*drain)
+	fmt.Fprintf(out, "rvserve: drained done=%d failed=%d aborted=%d pinned=%d\n",
+		rep.Done, rep.Failed, rep.Aborted, rep.Pinned)
+	if rep.Pinned != 0 {
+		return fmt.Errorf("pin leak: %d cache entries still pinned after drain", rep.Pinned)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read run's output while run is still
+// writing it from its own goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+// waitForAddr polls the startup line for the bound address.
+func waitForAddr(t *testing.T, buf *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		out := buf.String()
+		if _, rest, ok := strings.Cut(out, "listening on "); ok {
+			return strings.Fields(rest)[0]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("server never announced its address; output:\n%s", buf.String())
+	return ""
+}
+
+// TestServeAndDrain boots the daemon on an ephemeral port, runs a
+// schedule request and a job through it, then delivers SIGTERM and
+// checks the drain report: everything finished, nothing pinned.
+func TestServeAndDrain(t *testing.T) {
+	buf := &syncBuffer{}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-drain", "30s"}, buf, sig)
+	}()
+	addr := waitForAddr(t, buf)
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/schedule", "application/json",
+		strings.NewReader(`{"N":8,"Channels":[1,3],"Slots":16}`))
+	if err != nil {
+		t.Fatalf("schedule request: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"Scenario":{"N":12,"Agents":6,"K":4,"Seed":3,"Horizon":2048}}`))
+	if err != nil {
+		t.Fatalf("job submit: %v", err)
+	}
+	var sub struct{ ID string }
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatalf("poll job: %v", err)
+		}
+		var jr struct{ Status string }
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatalf("decode job: %v", err)
+		}
+		resp.Body.Close()
+		if jr.Status == "done" {
+			break
+		}
+		if jr.Status == "failed" || jr.Status == "aborted" {
+			t.Fatalf("job ended %s", jr.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v; output:\n%s", err, buf.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("drain never completed; output:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "drained done=1 failed=0 aborted=0 pinned=0") {
+		t.Fatalf("drain report missing or wrong:\n%s", out)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	buf := &syncBuffer{}
+	if err := run([]string{"-drain", "-1s"}, buf, nil); err == nil ||
+		!strings.Contains(err.Error(), "-drain") {
+		t.Fatalf("negative drain: err = %v, want -drain usage error", err)
+	}
+	if err := run([]string{"-addr", "256.256.256.256:1"}, buf, nil); err == nil {
+		t.Fatal("unlistenable address: expected error")
+	}
+}
+
+func TestMainSmokeHelp(t *testing.T) {
+	buf := &syncBuffer{}
+	err := run([]string{"-h"}, buf, nil)
+	if err == nil || !strings.Contains(err.Error(), "help") {
+		// flag.ContinueOnError returns flag.ErrHelp for -h.
+		t.Fatalf("-h: err = %v, want flag.ErrHelp", err)
+	}
+}

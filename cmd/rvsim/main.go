@@ -127,6 +127,17 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Validate shared numeric flags up front so both modes reject
+	// nonsense the same way instead of failing deep in the engine.
+	if *horizon < 1 {
+		return fmt.Errorf("-horizon %d: need at least 1 slot", *horizon)
+	}
+	if *n < 1 {
+		return fmt.Errorf("-n %d: channel universe must be non-empty", *n)
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel %d: worker count must be ≥ 0 (0 = one per CPU)", *parallel)
+	}
 	if *scenarioName != "" {
 		if len(specs) > 0 {
 			return fmt.Errorf("-scenario generates its own fleet; drop the -agent flags")

@@ -105,6 +105,33 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunFlagValidation: numeric flags are checked before either mode
+// runs, so nonsense dies with a usage error instead of deep in the
+// engine — and the message names the offending flag.
+func TestRunFlagValidation(t *testing.T) {
+	cases := map[string]struct {
+		args []string
+		want string
+	}{
+		"zero-horizon":      {[]string{"-horizon", "0", "-agent", "a=1", "-agent", "b=1"}, "-horizon"},
+		"negative-horizon":  {[]string{"-horizon", "-5", "-scenario", "calm"}, "-horizon"},
+		"zero-universe":     {[]string{"-n", "0", "-agent", "a=1", "-agent", "b=1"}, "-n"},
+		"negative-universe": {[]string{"-n", "-2", "-scenario", "calm"}, "-n"},
+		"negative-parallel": {[]string{"-parallel", "-1", "-agent", "a=1", "-agent", "b=1"}, "-parallel"},
+	}
+	for name, tc := range cases {
+		var sb strings.Builder
+		err := run(tc.args, &sb)
+		if err == nil {
+			t.Errorf("%s: expected error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", name, err, tc.want)
+		}
+	}
+}
+
 func TestRunScenarioMode(t *testing.T) {
 	var sb strings.Builder
 	err := run([]string{

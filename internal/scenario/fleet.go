@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"sync"
+
+	"rendezvous/internal/simulator"
+)
+
+// Fleet is a scenario's realized run state, opened once and reused
+// across many runs: the derived agents and environment plus the engine
+// built over them. This is the seam long-running callers (rvserve's
+// worker session pools) sit on — Scenario.Run opens a Fleet, runs once
+// and closes it, while a server opens one Fleet per distinct fleet
+// shape and drives many horizons through sessions on its engine.
+//
+// A Fleet is as concurrent-safe as its engine: Engine methods may run
+// concurrently, but a Session opened on it is single-goroutine (see
+// simulator.Session).
+type Fleet struct {
+	Agents []simulator.Agent
+	// Env carries the scenario's spectrum dynamics (nil for static
+	// spectrum); it is horizon-independent and shared by every run.
+	Env simulator.Environment
+	Eng *simulator.Engine
+
+	sc        Scenario
+	graphOnce sync.Once
+	graph     *ContactGraph
+}
+
+// Open derives the fleet and builds its engine for reuse. The caller
+// owns the Fleet and must Close it when done so the engine's table
+// pins return to the shared cache.
+func (sc Scenario) Open(build Builder) (*Fleet, error) {
+	agents, env, err := sc.Build(build)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := simulator.NewEngineContact(agents, sc.contactTopology())
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{Agents: agents, Env: env, Eng: eng, sc: sc}, nil
+}
+
+// Graph returns the contact relation for gridded scenarios (nil
+// otherwise), built lazily on first use — one-shot callers that never
+// summarize (Scenario.Run) skip the adjacency build entirely. The
+// engine renumbers its copy of the topology internally; the graph
+// indexes agents in build order, exactly as Scenario.ContactGraph
+// derives it.
+func (f *Fleet) Graph() *ContactGraph {
+	f.graphOnce.Do(func() {
+		if ct := f.sc.contactTopology(); ct != nil {
+			f.graph = newContactGraph(ct)
+		}
+	})
+	return f.graph
+}
+
+// Summarize computes discovery coverage for a run of this fleet,
+// walking contact edges when gridded and all pairs otherwise.
+func (f *Fleet) Summarize(res *simulator.Result, horizon int) Coverage {
+	return SummarizeContact(res, f.Agents, horizon, f.Graph())
+}
+
+// Close releases the engine's pins on shared cache tables (see
+// simulator.Engine.Close). The fleet remains usable; Close signals its
+// tables may be evicted when cold.
+func (f *Fleet) Close() { f.Eng.Close() }

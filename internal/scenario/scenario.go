@@ -242,19 +242,15 @@ func agentName(a int) string { return fmt.Sprintf("a%d", a) }
 // the scenario has a Grid — and all of them are exact, so the result
 // is byte-identical at any worker count either way.
 func (sc Scenario) Run(build Builder, workers int) (*simulator.Result, []simulator.Agent, error) {
-	agents, env, err := sc.Build(build)
-	if err != nil {
-		return nil, nil, err
-	}
-	eng, err := simulator.NewEngineContact(agents, sc.contactTopology())
+	fl, err := sc.Open(build)
 	if err != nil {
 		return nil, nil, err
 	}
 	// Close after the run: the engine borrowed its hop tables from the
 	// shared cache, and releasing the pins lets the cache cycle them —
 	// the next Run of an equal-shaped scenario gets them back as hits.
-	defer eng.Close()
-	return eng.RunParallelEnv(sc.Horizon, workers, env), agents, nil
+	defer fl.Close()
+	return fl.Eng.RunParallelEnv(sc.Horizon, workers, fl.Env), fl.Agents, nil
 }
 
 // randomSetContaining returns a random size-k subset of [n] containing

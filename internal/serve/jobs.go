@@ -1,0 +1,490 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rendezvous/internal/scenario"
+	"rendezvous/internal/simulator"
+	"rendezvous/internal/tablecache"
+)
+
+// The job manager: a bounded queue in front of a fixed worker pool,
+// where each worker goroutine owns a private pool of engine sessions
+// keyed by fleet shape. Sessions are documented not concurrent-safe
+// (simulator.Session), so worker-goroutine ownership is the
+// correctness boundary: a session is only ever driven by the worker
+// that opened it, while the engines underneath still share every hop
+// table through the process-wide table cache. Job results are pure
+// functions of the job spec — scenarios derive everything from their
+// seeds — so the same spec returns byte-identical result JSON at any
+// worker count, on any queue schedule.
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+const (
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+	// StatusAborted marks a job that was still queued when the drain
+	// deadline passed: reported, never silently dropped.
+	StatusAborted JobStatus = "aborted"
+)
+
+// JobSpec is one simulation request: a scenario (the fleet, its
+// dynamics, and the horizon — everything derived from Scenario.Seed)
+// plus the algorithm to build schedules with. JSON field names are the
+// Go names (e.g. {"Alg":"ours","Scenario":{"N":64,...}}).
+type JobSpec struct {
+	// Alg names the schedule builder: ours, general, crseq,
+	// crseq-rand, jumpstay, random. Defaults to ours.
+	Alg      string
+	Scenario scenario.Scenario
+	// EngineWorkers bounds the engine's per-run worker count. Results
+	// are byte-identical at every value (the engine's decompositions
+	// are exact), so this is purely a resource knob; it defaults to 1
+	// because the job pool itself saturates the cores.
+	EngineWorkers int
+	// IncludeMeetings adds the first MaxMeetings meetings (canonical
+	// slot-then-name order) to the result.
+	IncludeMeetings bool
+}
+
+// MaxMeetings caps the meetings list in a job result.
+const MaxMeetings = 1000
+
+// normalize applies spec defaults in place. Submit normalizes before
+// hashing, so specs differing only in elided defaults are the same job.
+func (s *JobSpec) normalize() {
+	if s.Alg == "" {
+		s.Alg = "ours"
+	}
+	if s.EngineWorkers <= 0 {
+		s.EngineWorkers = 1
+	}
+}
+
+// validate rejects specs the workers could not run.
+func (s *JobSpec) validate() error {
+	if err := s.Scenario.Validate(); err != nil {
+		return err
+	}
+	if _, err := scenario.BuilderFor(s.Alg, s.Scenario.N, s.Scenario.Seed); err != nil {
+		return err
+	}
+	return nil
+}
+
+// id derives the job's identity from the normalized spec: an FNV-1a
+// hash of its canonical JSON. Identity is content, not arrival — an
+// identical resubmission lands on the same job (idempotent POST), and
+// ids are reproducible across server restarts and worker counts,
+// which is what keeps the API byte-deterministic under load.
+func (s JobSpec) id() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Marshal of these plain structs cannot fail; keep the
+		// signature infallible.
+		panic(fmt.Sprintf("serve: marshal job spec: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("j%016x", h.Sum64())
+}
+
+// fleetKey identifies the reusable fleet shape behind a spec: every
+// field except the horizon and per-request knobs. Fleet derivation and
+// environment dynamics are horizon-independent, so jobs that differ
+// only in horizon share one engine and session — exactly the reuse
+// path the session layer was built for.
+func (s JobSpec) fleetKey() string {
+	s.Scenario.Horizon = 0
+	s.EngineWorkers = 0
+	s.IncludeMeetings = false
+	return s.id()
+}
+
+// JobResult is the deterministic outcome of a completed job. Every
+// field is a pure function of the spec; no timing, routing, or cache
+// state leaks in.
+type JobResult struct {
+	Coverage scenario.Coverage
+	MetFrac  float64
+	// Meetings holds the first MaxMeetings meetings in canonical order
+	// when the spec asked for them; Truncated reports whether the run
+	// recorded more.
+	Meetings  []simulator.Meeting `json:",omitempty"`
+	Truncated bool                `json:",omitempty"`
+}
+
+// Job is one tracked simulation request.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	mu     sync.Mutex
+	status JobStatus
+	err    string
+	result *JobResult
+	done   chan struct{}
+}
+
+// Snapshot returns the job's current status, error, and result. The
+// result pointer is shared; callers must not mutate it.
+func (j *Job) Snapshot() (JobStatus, string, *JobResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.err, j.result
+}
+
+// Wait blocks until the job reaches a terminal status.
+func (j *Job) Wait() { <-j.done }
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(status JobStatus, res *JobResult, err error) {
+	j.mu.Lock()
+	j.status = status
+	j.result = res
+	if err != nil {
+		j.err = err.Error()
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Config parameterizes a Manager (and the Server wrapping it).
+type Config struct {
+	// Workers is the job worker pool size; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of jobs queued behind the workers;
+	// ≤ 0 means 1024. A full queue rejects submissions (503).
+	QueueDepth int
+	// SessionsPerWorker caps each worker's session pool; ≤ 0 means 8.
+	// The coldest fleet is closed and evicted past the cap.
+	SessionsPerWorker int
+	// Cache is the table cache reported by stats and drain; nil means
+	// the cache engines currently capture (simulator.TableCache). It
+	// must be the cache engines actually use, or the pin numbers
+	// describe the wrong cache (tests swapping caches via
+	// simulator.SetTableCache pass the same cache here).
+	Cache *tablecache.Cache
+	// MaxScheduleSlots bounds the hop-table length /v1/schedule
+	// returns; ≤ 0 means 65536.
+	MaxScheduleSlots int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.SessionsPerWorker <= 0 {
+		c.SessionsPerWorker = 8
+	}
+	if c.Cache == nil {
+		c.Cache = simulator.TableCache()
+	}
+	if c.MaxScheduleSlots <= 0 {
+		c.MaxScheduleSlots = 65536
+	}
+	return c
+}
+
+// Manager runs jobs through its worker pool.
+type Manager struct {
+	cfg   Config
+	queue chan *Job
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	closed bool
+
+	// lateAbort flips when the drain deadline passes: workers then
+	// mark still-queued jobs aborted instead of running them.
+	lateAbort atomic.Bool
+	wg        sync.WaitGroup
+
+	sessionsOpened atomic.Int64
+	sessionsReused atomic.Int64
+}
+
+// NewManager starts the worker pool.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:   cfg,
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  make(map[string]*Job),
+	}
+	m.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go m.worker()
+	}
+	return m
+}
+
+// ErrQueueFull rejects submissions when the queue is at capacity.
+var ErrQueueFull = fmt.Errorf("serve: job queue full")
+
+// ErrDraining rejects submissions after Drain began.
+var ErrDraining = fmt.Errorf("serve: draining, not accepting jobs")
+
+// Submit validates and enqueues a job, returning the tracked Job and
+// whether this call created it. Resubmitting an identical spec returns
+// the existing job in whatever state it is (idempotent by content).
+func (m *Manager) Submit(spec JobSpec) (job *Job, created bool, err error) {
+	spec.normalize()
+	if err := spec.validate(); err != nil {
+		return nil, false, err
+	}
+	id := spec.id()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		return j, false, nil
+	}
+	if m.closed {
+		return nil, false, ErrDraining
+	}
+	j := &Job{ID: id, Spec: spec, status: StatusQueued, done: make(chan struct{})}
+	select {
+	case m.queue <- j:
+	default:
+		return nil, false, ErrQueueFull
+	}
+	m.jobs[id] = j
+	return j, true, nil
+}
+
+// Job returns the tracked job with the given id.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// worker drains the queue, owning a private session pool. The pool is
+// closed (engines released) when the worker exits, so after Drain no
+// worker holds a cache pin.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	pool := newSessionPool(m.cfg.SessionsPerWorker)
+	defer pool.close()
+	for j := range m.queue {
+		if m.lateAbort.Load() {
+			j.finish(StatusAborted, nil, fmt.Errorf("drain deadline passed before the job started"))
+			continue
+		}
+		m.runJob(pool, j)
+	}
+}
+
+// runJob executes one job on the worker's session pool. A panic
+// (schedule-contract violation in a hostile spec) fails the job rather
+// than the daemon.
+func (m *Manager) runJob(pool *sessionPool, j *Job) {
+	j.setRunning()
+	defer func() {
+		if r := recover(); r != nil {
+			j.finish(StatusFailed, nil, fmt.Errorf("job panicked: %v", r))
+		}
+	}()
+	sc := j.Spec.Scenario
+	key := j.Spec.fleetKey()
+	fs := pool.get(key)
+	if fs == nil {
+		build, err := scenario.BuilderFor(j.Spec.Alg, sc.N, sc.Seed)
+		if err != nil {
+			j.finish(StatusFailed, nil, err)
+			return
+		}
+		fl, err := sc.Open(build)
+		if err != nil {
+			j.finish(StatusFailed, nil, err)
+			return
+		}
+		fs = &fleetSession{fl: fl, sess: fl.Eng.Session()}
+		if evicted := pool.put(key, fs); evicted != nil {
+			evicted.fl.Close()
+		}
+		m.sessionsOpened.Add(1)
+	} else {
+		m.sessionsReused.Add(1)
+	}
+	res := fs.sess.RunParallelEnv(sc.Horizon, j.Spec.EngineWorkers, fs.fl.Env)
+	cov := fs.fl.Summarize(res, sc.Horizon)
+	out := &JobResult{Coverage: cov, MetFrac: cov.MetFrac()}
+	if j.Spec.IncludeMeetings {
+		ms := res.Meetings()
+		if len(ms) > MaxMeetings {
+			ms = ms[:MaxMeetings]
+			out.Truncated = true
+		}
+		out.Meetings = ms
+	}
+	j.finish(StatusDone, out, nil)
+}
+
+// fleetSession is one worker's reusable run state for a fleet shape.
+type fleetSession struct {
+	fl   *scenario.Fleet
+	sess *simulator.Session
+	last int64 // pool LRU clock
+}
+
+// sessionPool is a worker-private LRU of fleet sessions. No locking:
+// exactly one goroutine touches it.
+type sessionPool struct {
+	cap     int
+	clock   int64
+	entries map[string]*fleetSession
+}
+
+func newSessionPool(cap int) *sessionPool {
+	return &sessionPool{cap: cap, entries: make(map[string]*fleetSession)}
+}
+
+func (p *sessionPool) get(key string) *fleetSession {
+	fs := p.entries[key]
+	if fs != nil {
+		p.clock++
+		fs.last = p.clock
+	}
+	return fs
+}
+
+// put inserts a session, returning the evicted coldest entry when the
+// pool is over capacity (caller closes its fleet).
+func (p *sessionPool) put(key string, fs *fleetSession) (evicted *fleetSession) {
+	p.clock++
+	fs.last = p.clock
+	p.entries[key] = fs
+	if len(p.entries) <= p.cap {
+		return nil
+	}
+	coldKey := ""
+	for k, e := range p.entries {
+		if coldKey == "" || e.last < p.entries[coldKey].last {
+			coldKey = k
+		}
+	}
+	evicted = p.entries[coldKey]
+	delete(p.entries, coldKey)
+	return evicted
+}
+
+// close releases every pooled fleet's cache pins.
+func (p *sessionPool) close() {
+	for k, fs := range p.entries {
+		fs.fl.Close()
+		delete(p.entries, k)
+	}
+}
+
+// DrainReport summarizes a completed drain.
+type DrainReport struct {
+	Done    int
+	Failed  int
+	Aborted int
+	// Pinned is the cache's outstanding-pin entry count after every
+	// worker released its engines; nonzero means a pin leak.
+	Pinned int
+}
+
+// Drain stops accepting jobs, lets in-flight jobs finish, and gives
+// queued jobs until the timeout to start; past it, still-queued jobs
+// are marked aborted (reported, never dropped). It blocks until every
+// worker has exited and released its session pool, then snapshots the
+// cache's pin count — zero, unless something leaked. Drain is
+// idempotent; a zero timeout aborts all still-queued jobs immediately.
+func (m *Manager) Drain(timeout time.Duration) DrainReport {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	var timer *time.Timer
+	if timeout > 0 {
+		timer = time.AfterFunc(timeout, func() { m.lateAbort.Store(true) })
+	} else {
+		m.lateAbort.Store(true)
+	}
+	m.wg.Wait()
+	if timer != nil {
+		timer.Stop()
+	}
+	rep := DrainReport{}
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		switch status, _, _ := j.Snapshot(); status {
+		case StatusDone:
+			rep.Done++
+		case StatusFailed:
+			rep.Failed++
+		case StatusAborted:
+			rep.Aborted++
+		}
+	}
+	m.mu.Unlock()
+	rep.Pinned = m.cfg.Cache.Stats().Pinned
+	return rep
+}
+
+// JobCounts is the per-status job census for stats.
+type JobCounts struct {
+	Queued, Running, Done, Failed, Aborted int
+}
+
+// ManagerStats is the manager's point-in-time observability snapshot.
+type ManagerStats struct {
+	Workers        int
+	QueueDepth     int
+	QueueCapacity  int
+	Jobs           JobCounts
+	SessionsOpened int64
+	SessionsReused int64
+}
+
+// Stats snapshots the manager.
+func (m *Manager) Stats() ManagerStats {
+	st := ManagerStats{
+		Workers:        m.cfg.Workers,
+		QueueDepth:     len(m.queue),
+		QueueCapacity:  m.cfg.QueueDepth,
+		SessionsOpened: m.sessionsOpened.Load(),
+		SessionsReused: m.sessionsReused.Load(),
+	}
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		switch status, _, _ := j.Snapshot(); status {
+		case StatusQueued:
+			st.Jobs.Queued++
+		case StatusRunning:
+			st.Jobs.Running++
+		case StatusDone:
+			st.Jobs.Done++
+		case StatusFailed:
+			st.Jobs.Failed++
+		case StatusAborted:
+			st.Jobs.Aborted++
+		}
+	}
+	m.mu.Unlock()
+	return st
+}

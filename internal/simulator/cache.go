@@ -51,6 +51,14 @@ func SetTableCache(c *tablecache.Cache) (previous *tablecache.Cache) {
 	return previous
 }
 
+// TableCache returns the cache subsequent NewEngine calls capture (see
+// SetTableCache); nil when table sharing is disabled. Long-running
+// callers that report cache stats (rvserve) read it so their numbers
+// describe the cache their engines actually use.
+func TableCache() *tablecache.Cache {
+	return currentTableCache()
+}
+
 // prefixBudget caps the memory the engine spends on horizon-prefix
 // dense tables (schedule.DensePrefix) for schedules whose period is
 // too long to compile: 4 bytes per agent per slot adds up at network
@@ -116,16 +124,32 @@ func (e *Engine) uniKeyLocked() string {
 	return e.uniKey
 }
 
+// releasePrefixPinsLocked releases and forgets the pins backing the
+// current horizon-prefix table set. Called when planFor discards the
+// set on a horizon change, and by Close. Caller holds e.mu; Release
+// only takes the cache's own lock, so the ordering (engine before
+// cache) is consistent everywhere.
+func (e *Engine) releasePrefixPinsLocked() {
+	for _, h := range e.prefixHandles {
+		h.Release()
+	}
+	e.prefixHandles = nil
+}
+
 // Close releases the engine's pins on shared cache entries, making them
 // evictable. The engine itself remains fully usable — its compiled and
 // dense slices keep their references, and any table the cache later
-// evicts stays valid (entries are immutable). Close is idempotent;
-// callers that run many engines (sweeps, scenario drivers) should call
-// it so the cache can cycle tables under its byte budget.
+// evicts stays valid (entries are immutable). Close is idempotent, and
+// a run issued after Close is not a misuse: any tables such a run
+// borrows anew (e.g. prefix tables for a horizon the engine has not
+// seen) are re-tracked on the engine, and a later Close releases them
+// too — long-running callers may Close at any quiescent point without
+// leaking pins (tablecache.Stats.Pinned is the observable).
 func (e *Engine) Close() {
 	e.mu.Lock()
 	hs := e.handles
 	e.handles = nil
+	e.releasePrefixPinsLocked()
 	e.mu.Unlock()
 	for _, h := range hs {
 		h.Release()

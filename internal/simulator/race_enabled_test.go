@@ -1,0 +1,9 @@
+//go:build race
+
+package simulator
+
+// raceEnabled reports whether the race detector is compiled in; the
+// steady-state allocation gate skips under it (the race runtime
+// allocates on its own schedule, so AllocsPerRun counts are noise
+// there — the plain-build run in `make cover` enforces the gate).
+const raceEnabled = true

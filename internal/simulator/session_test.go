@@ -26,6 +26,9 @@ func sessionFleet(t *testing.T, agents int) []Agent {
 // at most 1% of what a cold engine-per-run loop allocates — the result
 // arrays, pair state, scratch pools and hop tables all survive.
 func TestSessionSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-runtime allocations; the plain build enforces this gate")
+	}
 	agents := sessionFleet(t, 32)
 	const horizon = 4096
 	defer simRestoreCache(t)()
@@ -104,6 +107,161 @@ func TestSessionCacheBudgetIndependence(t *testing.T) {
 	} {
 		if got := run(tc.cache); !reflect.DeepEqual(want, got) {
 			t.Errorf("%s: meetings diverge from normal-budget run (%d vs %d)", tc.name, len(got), len(want))
+		}
+	}
+}
+
+// prefixFleet builds agents whose cyclic periods exceed twice every
+// horizon the test runs, so no schedule compiles and every run goes
+// through the horizon-prefix table path — the one whose cache pins are
+// horizon-keyed.
+func prefixFleet(t *testing.T, agents, period int) []Agent {
+	t.Helper()
+	fleet := make([]Agent, agents)
+	for i := range fleet {
+		seq := make([]int, period)
+		for s := range seq {
+			seq[s] = 1 + (s*(i+2)+i)%17
+		}
+		fleet[i] = Agent{Name: fmt.Sprintf("p%02d", i), Sched: mustCyclic(t, seq)}
+	}
+	return fleet
+}
+
+// TestSessionShrinkThenGrowHorizon pins the Result.reset contract:
+// reset clears only the met bitset and count, leaving slot/channel/ttr
+// populated from the previous (possibly much longer) run, so every
+// reader must guard on the met bit. A session run at a large horizon,
+// then re-run at a small one, then grown again must agree exactly —
+// meetings, met counts, and per-pair misses — with fresh single-use
+// engines at each horizon. A reader that ever consulted a stale
+// slot/channel/ttr entry (recorded beyond the shrunken horizon) would
+// diverge here.
+func TestSessionShrinkThenGrowHorizon(t *testing.T) {
+	defer simRestoreCache(t)()
+	agents := sessionFleet(t, 24)
+	// Churn makes pair eligibility horizon-dependent, so the meetable
+	// set itself changes as the horizon moves.
+	for i := range agents {
+		agents[i].Wake = (i * 37) % 600
+		if i%3 == 0 {
+			agents[i].Leave = agents[i].Wake + 900
+		}
+	}
+
+	eng, err := NewEngine(agents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	sess := eng.Session()
+	defer sess.Close()
+
+	check := func(horizon int) {
+		t.Helper()
+		got := sess.Run(horizon)
+		fresh, err := NewEngine(agents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fresh.Close()
+		want := fresh.Run(horizon)
+		if got.MetCount() != want.MetCount() {
+			t.Fatalf("horizon %d: session met %d pairs, fresh engine %d", horizon, got.MetCount(), want.MetCount())
+		}
+		if !reflect.DeepEqual(got.Meetings(), want.Meetings()) {
+			t.Fatalf("horizon %d: session meetings diverge from fresh engine", horizon)
+		}
+		// Per-pair misses: a stale met-adjacent entry would surface as a
+		// phantom meeting for a pair the fresh run reports unmet.
+		for i := range agents {
+			for j := i + 1; j < len(agents); j++ {
+				gm, gok := got.Meeting(agents[i].Name, agents[j].Name)
+				wm, wok := want.Meeting(agents[i].Name, agents[j].Name)
+				if gok != wok || gm != wm {
+					t.Fatalf("horizon %d: pair %s-%s: session (%v,%v) vs fresh (%v,%v)",
+						horizon, agents[i].Name, agents[j].Name, gm, gok, wm, wok)
+				}
+			}
+		}
+	}
+
+	// Large first run populates slot/channel/ttr with late meetings;
+	// the shrink must not resurrect any of them, and the grow must
+	// rediscover them from scratch.
+	for _, horizon := range []int{16384, 1024, 256, 4096, 16384} {
+		check(horizon)
+	}
+}
+
+// TestEngineCloseThenRunRepins pins Close's reuse contract: a run
+// issued after Close may borrow fresh tables from the cache (here,
+// prefix tables for a horizon the engine has not seen); those pins are
+// re-tracked on the engine and the next Close releases them — no pin
+// survives the last Close, at any call order.
+func TestEngineCloseThenRunRepins(t *testing.T) {
+	cache := tablecache.New(tablecache.DefaultBudget)
+	prev := SetTableCache(cache)
+	defer SetTableCache(prev)
+
+	eng, err := NewEngine(prefixFleet(t, 6, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Run(512).MetCount() == 0 {
+		t.Fatal("fleet never met — nothing exercised")
+	}
+	if s := cache.Stats(); s.Pinned == 0 {
+		t.Fatalf("first run pinned nothing (stats %+v) — fleet does not exercise the cache", s)
+	}
+	eng.Close()
+	if s := cache.Stats(); s.Pinned != 0 || s.Refs != 0 {
+		t.Fatalf("pins survive Close: %+v", s)
+	}
+
+	// Run after Close at a new horizon: borrows and pins anew.
+	eng.Run(768)
+	if s := cache.Stats(); s.Pinned == 0 {
+		t.Fatalf("run after Close did not re-track its pins: %+v", s)
+	}
+	eng.Close()
+	if s := cache.Stats(); s.Pinned != 0 || s.Refs != 0 {
+		t.Fatalf("re-tracked pins survive the second Close: %+v", s)
+	}
+}
+
+// TestPrefixPinsReleasedOnHorizonChange pins the long-running-caller
+// fix: the horizon-prefix table set is horizon-keyed, so an engine
+// serving many horizons must release each discarded set's pins as it
+// goes. Before the fix every horizon leaked its predecessor's pins
+// until Close, growing the cache past any budget.
+func TestPrefixPinsReleasedOnHorizonChange(t *testing.T) {
+	cache := tablecache.New(tablecache.DefaultBudget)
+	prev := SetTableCache(cache)
+	defer SetTableCache(prev)
+
+	const agents = 6
+	eng, err := NewEngine(prefixFleet(t, agents, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	sess := eng.Session()
+
+	var after []int64
+	for _, horizon := range []int{256, 512, 768, 1024, 1280, 1536} {
+		sess.Run(horizon)
+		after = append(after, cache.Stats().Refs)
+	}
+	// Every horizon pins exactly one prefix table per agent; discarding
+	// a horizon's set must drop its pins, so the outstanding count stays
+	// flat instead of climbing by `agents` per horizon.
+	for i, refs := range after {
+		if refs != after[0] {
+			t.Fatalf("outstanding pins climbed across horizons: %v (leaked prefix pins)", after)
+		}
+		if i == 0 && refs != agents {
+			t.Fatalf("first horizon pinned %d tables, want %d (one prefix table per agent)", refs, agents)
 		}
 	}
 }

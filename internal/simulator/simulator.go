@@ -399,9 +399,14 @@ type Engine struct {
 	meetableOK      bool
 	// prefixDense holds horizon-prefix dense tables (see planFor) for
 	// agents without compiled tables, keyed by prefixHorizon; also
-	// under mu.
+	// under mu. Their cache pins live in prefixHandles, separate from
+	// handles, because a horizon change discards the whole prefix set —
+	// the old pins must be released right then, or a long-running
+	// engine serving many horizons accumulates pins the cache can
+	// never evict (see planFor).
 	prefixDense   []*schedule.DenseTable
 	prefixHorizon int
+	prefixHandles []tablecache.Handle
 
 	// Scratch pools recycle the per-run working state (occupancy index,
 	// block buffers, pairwise found arrays) across runs: the sweeps that
@@ -608,6 +613,12 @@ func (e *Engine) planFor(horizon int) *runPlan {
 	}
 	if missing > 0 && missing*horizon*4 <= int(prefixBudget.Load()) {
 		if e.prefixHorizon != horizon || e.prefixDense == nil {
+			// The prefix set is horizon-keyed: discarding it must also
+			// release its pins, or an engine alternating horizons pins a
+			// fresh table set per horizon forever (the tables themselves
+			// stay valid for any still-running readers — pins are
+			// bookkeeping, not lifetime).
+			e.releasePrefixPinsLocked()
 			e.prefixDense = make([]*schedule.DenseTable, len(e.agents))
 			e.prefixHorizon = horizon
 		}
@@ -622,7 +633,9 @@ func (e *Engine) planFor(horizon int) *runPlan {
 				}
 				d, h := e.cache.DensePrefix(p.scheds[i], e.uniKeyLocked(), horizon, e.id32, scratch)
 				e.prefixDense[i] = d
-				e.pinLocked(h)
+				if h != (tablecache.Handle{}) {
+					e.prefixHandles = append(e.prefixHandles, h)
+				}
 			}
 			p.dense[i] = e.prefixDense[i]
 		}

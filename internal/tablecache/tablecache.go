@@ -27,12 +27,20 @@ import (
 )
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
+// Pinned and Refs expose pin leaks: a long-running caller that borrows
+// tables and never releases them (a missing Engine.Close, or handles
+// dropped on the floor) shows up as Pinned > 0 while idle, and pinned
+// entries can never be evicted — the cache grows past its budget
+// without bound. rvserve surfaces these on /v1/stats and its drain
+// path asserts Pinned == 0 after the last engine closes.
 type Stats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
 	Entries   int
 	Bytes     int64
+	Pinned    int   // entries with at least one outstanding pin
+	Refs      int64 // total outstanding pins across all entries
 }
 
 type entry struct {
@@ -100,13 +108,20 @@ func (c *Cache) Stats() Stats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{
+	s := Stats{
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
 		Entries:   len(c.table),
 		Bytes:     c.bytes,
 	}
+	for e := c.head; e != nil; e = e.next {
+		if e.refs > 0 {
+			s.Pinned++
+			s.Refs += int64(e.refs)
+		}
+	}
+	return s
 }
 
 // Handle pins one cache entry against eviction. The zero Handle is

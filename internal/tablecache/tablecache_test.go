@@ -51,6 +51,37 @@ func TestCompileSharesTables(t *testing.T) {
 	}
 }
 
+// TestStatsPinned pins the pin-leak observables: Pinned counts entries
+// with outstanding pins, Refs the pins themselves, and both return to
+// zero once every handle is released — the invariant rvserve's drain
+// asserts after closing its engines.
+func TestStatsPinned(t *testing.T) {
+	c := New(1 << 20)
+	a := mustCyclic(t, seq(1, 16))
+	b := mustCyclic(t, seq(30, 16))
+
+	_, ha := c.Compile(a)
+	_, hb1 := c.Compile(b)
+	_, hb2 := c.Compile(b) // second pin on the same entry
+
+	if st := c.Stats(); st.Pinned != 2 || st.Refs != 3 {
+		t.Fatalf("with 3 pins over 2 entries, stats = %+v", st)
+	}
+	hb1.Release()
+	if st := c.Stats(); st.Pinned != 2 || st.Refs != 2 {
+		t.Fatalf("after one release, stats = %+v", st)
+	}
+	hb2.Release()
+	ha.Release()
+	st := c.Stats()
+	if st.Pinned != 0 || st.Refs != 0 {
+		t.Fatalf("pins survive full release: %+v", st)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("unpinned entries under budget were dropped: %+v", st)
+	}
+}
+
 func TestNilCachePassesThrough(t *testing.T) {
 	var c *Cache
 	s := mustCyclic(t, seq(1, 8))

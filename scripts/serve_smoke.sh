@@ -1,0 +1,120 @@
+#!/bin/sh
+# serve-smoke: end-to-end check of the rvserve daemon with rvload.
+#
+# Asserts the three properties the service promises:
+#   1. Byte-determinism: the jobs-mode check hash is identical across a
+#      cold 1-worker daemon, a warm rerun, and a fresh 8-worker daemon.
+#   2. Clean drain: every shutdown reports pinned=0 (no table-cache pin
+#      leaks) and exits zero.
+#   3. Throughput: a short schedule-mode load run sustains at least
+#      SMOKE_MIN_RPS requests/sec (default 1000), p99 printed.
+#
+# Env knobs: SMOKE_MIN_RPS, SMOKE_RATE, SMOKE_DURATION, GO.
+set -eu
+
+GO=${GO:-go}
+SMOKE_MIN_RPS=${SMOKE_MIN_RPS:-1000}
+SMOKE_RATE=${SMOKE_RATE:-3000}
+SMOKE_DURATION=${SMOKE_DURATION:-2s}
+
+work=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building rvserve and rvload"
+$GO build -o "$work/rvserve" ./cmd/rvserve
+$GO build -o "$work/rvload" ./cmd/rvload
+
+# start_daemon <workers> <logfile>: boots rvserve on an ephemeral port
+# and sets $pid and $base.
+start_daemon() {
+    workers=$1 log=$2
+    "$work/rvserve" -addr 127.0.0.1:0 -workers "$workers" -drain 30s >"$log" 2>&1 &
+    pid=$!
+    i=0
+    until grep -q "listening on" "$log" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "serve-smoke: daemon never came up:" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        kill -0 "$pid" 2>/dev/null || { cat "$log" >&2; exit 1; }
+        sleep 0.1
+    done
+    addr=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$log" | head -1)
+    base="http://$addr"
+}
+
+# stop_daemon <logfile>: SIGTERM, wait for exit, assert a clean
+# pinned=0 drain report and a zero exit status.
+stop_daemon() {
+    log=$1
+    kill -TERM "$pid"
+    if ! wait "$pid"; then
+        echo "serve-smoke: daemon exited nonzero:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    pid=""
+    if ! grep -q "pinned=0" "$log"; then
+        echo "serve-smoke: drain report did not show pinned=0:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+}
+
+# check_hash <mode> <n>: prints the rvload check hash for this daemon.
+check_hash() {
+    "$work/rvload" -url "$base" -mode "$1" -check "$2" -seed 7 |
+        sed -n 's/.*sha256=\([0-9a-f]*\).*/\1/p'
+}
+
+echo "serve-smoke: phase 1 — 1-worker daemon, cold then warm"
+start_daemon 1 "$work/serve1.log"
+jobs_cold=$(check_hash jobs 24)
+jobs_warm=$(check_hash jobs 24)
+sched_hash=$(check_hash schedule 32)
+[ -n "$jobs_cold" ] && [ -n "$sched_hash" ] || { echo "serve-smoke: empty check hash" >&2; exit 1; }
+if [ "$jobs_cold" != "$jobs_warm" ]; then
+    echo "serve-smoke: warm rerun changed the jobs hash: $jobs_cold vs $jobs_warm" >&2
+    exit 1
+fi
+stop_daemon "$work/serve1.log"
+
+echo "serve-smoke: phase 2 — fresh 8-worker daemon must reproduce the bytes"
+start_daemon 8 "$work/serve8.log"
+jobs_w8=$(check_hash jobs 24)
+sched_w8=$(check_hash schedule 32)
+if [ "$jobs_w8" != "$jobs_cold" ] || [ "$sched_w8" != "$sched_hash" ]; then
+    echo "serve-smoke: hashes differ across daemons:" >&2
+    echo "  jobs:     w1=$jobs_cold w8=$jobs_w8" >&2
+    echo "  schedule: w1=$sched_hash w8=$sched_w8" >&2
+    exit 1
+fi
+# Several of the 8 workers opened engines for the same fleet shapes, so
+# the later ones must have found their hop tables already cached.
+stats=$("$work/rvload" -url "$base" -mode schedule -check 4 -seed 9 -stats | grep "stats ")
+echo "serve-smoke: $stats"
+hits=$(echo "$stats" | sed -n 's/.*hits=\([0-9]*\).*/\1/p')
+if [ "${hits:-0}" -eq 0 ]; then
+    echo "serve-smoke: 8-worker daemon reports zero cache hits" >&2
+    exit 1
+fi
+
+echo "serve-smoke: phase 3 — load at $SMOKE_RATE req/s for $SMOKE_DURATION (floor $SMOKE_MIN_RPS)"
+loadout=$("$work/rvload" -url "$base" -mode schedule -rate "$SMOKE_RATE" \
+    -duration "$SMOKE_DURATION" -c 16)
+echo "$loadout" | sed 's/^/serve-smoke: /'
+achieved=$(echo "$loadout" | sed -n 's/.*achieved=\([0-9]*\).*/\1/p')
+if [ "${achieved:-0}" -lt "$SMOKE_MIN_RPS" ]; then
+    echo "serve-smoke: achieved $achieved req/s, floor is $SMOKE_MIN_RPS" >&2
+    exit 1
+fi
+stop_daemon "$work/serve8.log"
+
+echo "serve-smoke: OK (jobs=$jobs_cold achieved=$achieved req/s)"
