@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: build build-examples fmt-check vet lint test race bench bench-smoke ci \
 	fuzz-smoke cover golden golden-thrash bench-json bench-json-smoke \
-	bench-compare bench-compare-smoke serve-smoke
+	bench-compare bench-compare-smoke serve-smoke serve-chaos
 
 build:
 	$(GO) build ./...
@@ -177,7 +177,20 @@ golden-thrash:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# Chaos drain: the deterministic fault-injection suite — worker stalls,
+# mid-job panics, engine-level cancellations, and a 1-byte cache budget
+# under load — plus the per-kernel mid-run cancellation tests. Every
+# drain must report zero leaked pins and every surviving job must stay
+# byte-identical to a fault-free control run. Runs under -race and
+# -count=1: the injected faults land on the same seams concurrent
+# traffic does, and cached passes prove nothing about chaos.
+serve-chaos:
+	$(GO) test -race -count=1 \
+		-run 'TestChaos|TestCancel|TestShed|TestQuota|TestJobDeadline|TestJobTTLEviction' \
+		./internal/serve ./internal/simulator
+	$(GO) test -race -count=1 -run 'TestServeChaosDrain' ./cmd/rvserve
+
 # The exact sequence CI runs; keep local and CI invocations identical.
 # bench-compare-smoke subsumes bench-json-smoke (it regenerates the
 # trajectory point, then gates it against the committed baseline).
-ci: fmt-check vet build build-examples race cover golden-thrash serve-smoke bench-compare-smoke
+ci: fmt-check vet build build-examples race cover golden-thrash serve-smoke serve-chaos bench-compare-smoke

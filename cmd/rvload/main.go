@@ -13,6 +13,13 @@
 //
 //	rvload -url http://127.0.0.1:8080 -rate 2000 -duration 10s -c 32
 //
+// Requests the server sheds (429 queue-full/quota, 503 draining) are
+// retried up to -retries times with exponential backoff and jitter,
+// honoring the server's Retry-After hint; the load report separates
+// attempted (HTTP attempts incl. retries), retried (requests needing
+// ≥1 retry), shed (still refused after the budget), and dropped
+// (generator drops that kept the load open-loop).
+//
 // -stats appends one line from the server's /v1/stats (cache hits,
 // pinned entries, queue depth) after either mode.
 package main
@@ -23,11 +30,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rendezvous/internal/stats"
@@ -50,6 +60,7 @@ func run(args []string, out io.Writer) error {
 	conc := fs.Int("c", 16, "load mode: concurrent senders")
 	seed := fs.Uint64("seed", 1, "request-sequence seed")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request (and job-completion) timeout")
+	retries := fs.Int("retries", 3, "max retries per request on 429/503 (exponential backoff, honors Retry-After)")
 	wantStats := fs.Bool("stats", false, "print server cache/queue stats after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,17 +71,17 @@ func run(args []string, out io.Writer) error {
 	if *mode != "schedule" && *mode != "jobs" {
 		return fmt.Errorf("-mode %q: want schedule or jobs", *mode)
 	}
-	if *check < 0 || *rate < 1 || *conc < 1 || *duration <= 0 {
-		return fmt.Errorf("-check must be ≥ 0; -rate, -c, -duration must be positive")
+	if *check < 0 || *rate < 1 || *conc < 1 || *duration <= 0 || *retries < 0 {
+		return fmt.Errorf("-check and -retries must be ≥ 0; -rate, -c, -duration must be positive")
 	}
 	base := strings.TrimSuffix(*url, "/")
 	client := &http.Client{Timeout: *timeout}
 
 	var err error
 	if *check > 0 {
-		err = runCheck(out, client, base, *mode, *check, *seed, *timeout)
+		err = runCheck(out, client, base, *mode, *check, *seed, *timeout, *retries)
 	} else {
-		err = runLoad(out, client, base, *mode, *rate, *conc, *duration, *seed)
+		err = runLoad(out, client, base, *mode, *rate, *conc, *duration, *seed, *retries)
 	}
 	if err != nil {
 		return err
@@ -129,25 +140,58 @@ func requestBody(mode string, seed uint64, i int) (path, body string) {
 		fleetSeed, horizon)
 }
 
-func post(client *http.Client, url, body string) (int, []byte, error) {
+func post(client *http.Client, url, body string) (int, http.Header, []byte, error) {
 	resp, err := client.Post(url, "application/json", strings.NewReader(body))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
-	return resp.StatusCode, b, err
+	return resp.StatusCode, resp.Header, b, err
+}
+
+// shedStatus reports the server's overload statuses: 429 (queue full or
+// fleet quota, with a Retry-After hint) and 503 (draining).
+func shedStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// postRetry posts with up to retries re-attempts on the shedding
+// statuses. The wait honors the server's Retry-After when present,
+// otherwise exponential backoff from 50ms, always with jitter and
+// capped at 2s so a load tool never parks for a server-sized hint.
+// It returns the final status/body plus how many attempts it made;
+// transport errors and non-shed statuses return immediately.
+func postRetry(client *http.Client, url, body string, retries int) (code int, resp []byte, attempts int, err error) {
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		var hdr http.Header
+		code, hdr, resp, err = post(client, url, body)
+		attempts = attempt + 1
+		if err != nil || !shedStatus(code) || attempt == retries {
+			return
+		}
+		wait := backoff + time.Duration(rand.Int63n(int64(backoff)))
+		if ra, e := strconv.Atoi(hdr.Get("Retry-After")); e == nil && ra > 0 {
+			wait = time.Duration(ra) * time.Second
+		}
+		if wait > 2*time.Second {
+			wait = 2 * time.Second
+		}
+		time.Sleep(wait)
+		backoff *= 2
+	}
 }
 
 // runCheck replays the deterministic sequence and hashes what the
 // server said. Job requests hash the completed job body (status,
 // result and all), not the submission ack, so the hash covers the
 // simulation output itself.
-func runCheck(out io.Writer, client *http.Client, base, mode string, n int, seed uint64, timeout time.Duration) error {
+func runCheck(out io.Writer, client *http.Client, base, mode string, n int, seed uint64, timeout time.Duration, retries int) error {
 	hash := sha256.New()
 	for i := 0; i < n; i++ {
 		path, body := requestBody(mode, seed, i)
-		code, resp, err := post(client, base+path, body)
+		code, resp, _, err := postRetry(client, base+path, body, retries)
 		if err != nil {
 			return fmt.Errorf("request %d: %w", i, err)
 		}
@@ -188,7 +232,7 @@ func awaitJob(client *http.Client, base, id string, timeout time.Duration) ([]by
 			return nil, fmt.Errorf("decode job %s: %w", id, err)
 		}
 		switch jr.Status {
-		case "done", "failed", "aborted":
+		case "done", "failed", "aborted", "canceled":
 			return body, nil
 		}
 		if time.Now().After(deadline) {
@@ -201,7 +245,7 @@ func awaitJob(client *http.Client, base, id string, timeout time.Duration) ([]by
 // runLoad fires requests open-loop: a ticker releases send slots at
 // the target rate and -c senders consume them, so server slowdowns
 // show up as latency, not a silently reduced offered rate.
-func runLoad(out io.Writer, client *http.Client, base, mode string, rate, conc int, duration time.Duration, seed uint64) error {
+func runLoad(out io.Writer, client *http.Client, base, mode string, rate, conc int, duration time.Duration, seed uint64, retries int) error {
 	type obs struct {
 		micros float64
 		ok     bool
@@ -209,6 +253,10 @@ func runLoad(out io.Writer, client *http.Client, base, mode string, rate, conc i
 	slots := make(chan int, rate) // buffered: a stalled server queues slots
 	results := make(chan obs, rate*int(duration/time.Second+1))
 
+	// attempted counts every HTTP attempt including retries; retried
+	// counts requests that needed at least one; shed counts requests
+	// the server still refused (429/503) after the retry budget.
+	var attempted, retried, shed atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < conc; w++ {
 		wg.Add(1)
@@ -217,7 +265,14 @@ func runLoad(out io.Writer, client *http.Client, base, mode string, rate, conc i
 			for i := range slots {
 				path, body := requestBody(mode, seed, i)
 				start := time.Now()
-				code, _, err := post(client, base+path, body)
+				code, _, tries, err := postRetry(client, base+path, body, retries)
+				attempted.Add(int64(tries))
+				if tries > 1 {
+					retried.Add(1)
+				}
+				if err == nil && shedStatus(code) {
+					shed.Add(1)
+				}
 				results <- obs{
 					micros: float64(time.Since(start).Microseconds()),
 					ok:     err == nil && code < 400,
@@ -268,8 +323,11 @@ func runLoad(out io.Writer, client *http.Client, base, mode string, rate, conc i
 	}
 	sort.Float64s(lats)
 	achieved := float64(okCount) / elapsed.Seconds()
-	fmt.Fprintf(out, "rvload: mode=%s sent=%d ok=%d errors=%d shed=%d elapsed=%.2fs achieved=%.0f req/s\n",
-		mode, len(lats), okCount, len(lats)-okCount, dropped, elapsed.Seconds(), achieved)
+	// dropped = generator drops (open-loop backlog), shed = server 429/503
+	// after retries — separate failure economies, reported separately.
+	fmt.Fprintf(out, "rvload: mode=%s sent=%d ok=%d errors=%d attempted=%d retried=%d shed=%d dropped=%d elapsed=%.2fs achieved=%.0f req/s\n",
+		mode, len(lats), okCount, len(lats)-okCount, attempted.Load(), retried.Load(), shed.Load(),
+		dropped, elapsed.Seconds(), achieved)
 	fmt.Fprintf(out, "rvload: latency p50=%.0fµs p99=%.0fµs p999=%.0fµs max=%.0fµs\n",
 		stats.Percentile(lats, 0.50), stats.Percentile(lats, 0.99),
 		stats.Percentile(lats, 0.999), lats[len(lats)-1])

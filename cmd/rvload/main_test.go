@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"strconv"
@@ -79,10 +80,88 @@ func TestRunFlagErrors(t *testing.T) {
 		"bad-conc":     {"-url", "http://x", "-c", "0"},
 		"bad-duration": {"-url", "http://x", "-duration", "-1s"},
 		"bad-check":    {"-url", "http://x", "-check", "-1"},
+		"bad-retries":  {"-url", "http://x", "-retries", "-1"},
 	}
 	for name, args := range cases {
 		if err := run(args, &sb); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
+	}
+}
+
+// TestPostRetryBackoff pins the retry loop against a flaky backend: two
+// 429s then success resolves within a 3-retry budget (3 attempts
+// total), while a zero budget surfaces the shed status immediately.
+func TestPostRetryBackoff(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits <= 2 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	client := ts.Client()
+
+	code, _, attempts, err := postRetry(client, ts.URL, "{}", 3)
+	if err != nil || code != http.StatusOK || attempts != 3 {
+		t.Fatalf("retry run: code=%d attempts=%d err=%v, want 200 after 3 attempts", code, attempts, err)
+	}
+	hits = 0
+	code, _, attempts, err = postRetry(client, ts.URL, "{}", 0)
+	if err != nil || code != http.StatusTooManyRequests || attempts != 1 {
+		t.Fatalf("no-retry run: code=%d attempts=%d err=%v, want immediate 429", code, attempts, err)
+	}
+}
+
+// TestPostRetryHonorsRetryAfter: a 429 carrying Retry-After: 1 must
+// hold the retry for at least that long.
+func TestPostRetryHonorsRetryAfter(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	start := time.Now()
+	code, _, attempts, err := postRetry(ts.Client(), ts.URL, "{}", 1)
+	if err != nil || code != http.StatusOK || attempts != 2 {
+		t.Fatalf("code=%d attempts=%d err=%v", code, attempts, err)
+	}
+	if waited := time.Since(start); waited < time.Second {
+		t.Fatalf("retried after %v, Retry-After asked for 1s", waited)
+	}
+}
+
+// TestLoadReportsShed: against a draining backend every request is
+// shed; the load report must say so in the shed counter, separate from
+// generator drops.
+func TestLoadReportsShed(t *testing.T) {
+	srv := serve.NewServer(serve.Config{Workers: 1})
+	srv.Drain(0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var sb strings.Builder
+	err := run([]string{
+		"-url", ts.URL, "-mode", "jobs",
+		"-rate", "50", "-duration", "200ms", "-c", "2", "-retries", "0",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("load run: %v\noutput: %s", err, sb.String())
+	}
+	out := sb.String()
+	m := regexp.MustCompile(`shed=(\d+)`).FindStringSubmatch(out)
+	if m == nil || m[1] == "0" {
+		t.Fatalf("draining backend shed nothing:\n%s", out)
+	}
+	if !strings.Contains(out, "ok=0") {
+		t.Fatalf("shed requests counted as ok:\n%s", out)
 	}
 }

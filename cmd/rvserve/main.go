@@ -7,23 +7,34 @@
 //
 // Endpoints (see internal/serve):
 //
-//	POST /v1/schedule     one agent's hop sequence (deterministic)
-//	POST /v1/jobs         submit a scenario simulation (idempotent)
-//	GET  /v1/jobs/{id}    job status and result
-//	GET  /v1/stats        cache, queue, and per-route latency counters
-//	GET  /v1/healthz      liveness
+//	POST   /v1/schedule     one agent's hop sequence (deterministic)
+//	POST   /v1/jobs         submit a scenario simulation (idempotent)
+//	GET    /v1/jobs/{id}    job status and result
+//	DELETE /v1/jobs/{id}    cancel a queued/running job, evict a finished one
+//	GET    /v1/stats        cache, queue, and per-route latency counters
+//	GET    /v1/healthz      liveness
+//
+// A full queue or an exceeded per-fleet quota (-max-per-fleet) sheds
+// load with 429 and a Retry-After hint; jobs carry optional per-run
+// deadlines (spec TimeoutMs or -job-timeout) and finished jobs are
+// evicted after -job-ttl.
 //
 // On SIGINT/SIGTERM the server stops accepting work, lets in-flight
 // and queued jobs finish under the -drain deadline (queued jobs past
 // it are reported aborted), closes every engine, and prints a drain
 // report. A nonzero pinned count in that report is a table-cache pin
 // leak and makes the exit status nonzero.
+//
+// Setting RVSERVE_CHAOS=1 arms the deterministic fault injector
+// (worker stalls, mid-job panics, engine cancellations keyed on job
+// id) — a test harness for drain-under-chaos, never for production.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
@@ -55,6 +66,9 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	sessions := fs.Int("sessions", 8, "engine sessions cached per worker, keyed by fleet shape")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown deadline for queued jobs")
 	maxSlots := fs.Int("max-slots", 65536, "largest hop table /v1/schedule returns")
+	jobTTL := fs.Duration("job-ttl", 0, "retention for finished jobs (0 = 15m, negative = keep forever)")
+	jobTimeout := fs.Duration("job-timeout", 0, "default per-job deadline (0 = none; spec TimeoutMs overrides)")
+	maxPerFleet := fs.Int("max-per-fleet", 0, "max live jobs per fleet shape (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,12 +76,20 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		return fmt.Errorf("-drain %s: deadline must be non-negative", *drain)
 	}
 
-	srv := serve.NewServer(serve.Config{
+	cfg := serve.Config{
 		Workers:           *workers,
 		QueueDepth:        *queue,
 		SessionsPerWorker: *sessions,
 		MaxScheduleSlots:  *maxSlots,
-	})
+		JobTTL:            *jobTTL,
+		JobTimeout:        *jobTimeout,
+		MaxPerFleet:       *maxPerFleet,
+	}
+	if os.Getenv("RVSERVE_CHAOS") != "" {
+		cfg.PreRun = chaosPreRun
+		fmt.Fprintln(out, "rvserve: CHAOS fault injection armed (RVSERVE_CHAOS)")
+	}
+	srv := serve.NewServer(cfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		// The pool is already running; release it before reporting.
@@ -97,10 +119,28 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		fmt.Fprintf(out, "rvserve: http shutdown: %v\n", err)
 	}
 	rep := srv.Drain(*drain)
-	fmt.Fprintf(out, "rvserve: drained done=%d failed=%d aborted=%d pinned=%d\n",
-		rep.Done, rep.Failed, rep.Aborted, rep.Pinned)
+	fmt.Fprintf(out, "rvserve: drained done=%d failed=%d aborted=%d canceled=%d pinned=%d\n",
+		rep.Done, rep.Failed, rep.Aborted, rep.Canceled, rep.Pinned)
 	if rep.Pinned != 0 {
 		return fmt.Errorf("pin leak: %d cache entries still pinned after drain", rep.Pinned)
 	}
 	return nil
+}
+
+// chaosPreRun is the deterministic fault injector behind RVSERVE_CHAOS:
+// keyed on the job's content-hash id, it stalls the worker, panics
+// mid-job (recovered into a failed status), or fires the job's
+// engine-level canceler. Ids are content hashes, so a given workload
+// always draws the same fault schedule.
+func chaosPreRun(j *serve.Job) {
+	h := fnv.New32a()
+	h.Write([]byte(j.ID))
+	switch h.Sum32() % 4 {
+	case 1:
+		time.Sleep(2 * time.Millisecond)
+	case 2:
+		panic("chaos: injected panic")
+	case 3:
+		j.CancelEngine()
+	}
 }

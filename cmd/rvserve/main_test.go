@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"os"
 	"strings"
@@ -107,8 +108,73 @@ func TestServeAndDrain(t *testing.T) {
 		t.Fatalf("drain never completed; output:\n%s", buf.String())
 	}
 	out := buf.String()
-	if !strings.Contains(out, "drained done=1 failed=0 aborted=0 pinned=0") {
+	if !strings.Contains(out, "drained done=1 failed=0 aborted=0 canceled=0 pinned=0") {
 		t.Fatalf("drain report missing or wrong:\n%s", out)
+	}
+}
+
+// TestServeChaosDrain is the end-to-end drain-under-chaos check: with
+// RVSERVE_CHAOS armed the daemon takes a burst of jobs whose fault
+// schedule stalls workers, panics mid-job, and cancels engines — and a
+// SIGTERM drain must still exit cleanly (exit code nil) with zero
+// leaked pins, every job accounted for in the report.
+func TestServeChaosDrain(t *testing.T) {
+	t.Setenv("RVSERVE_CHAOS", "1")
+	buf := &syncBuffer{}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "4", "-drain", "60s"}, buf, sig)
+	}()
+	addr := waitForAddr(t, buf)
+	base := "http://" + addr
+	if !strings.Contains(buf.String(), "CHAOS fault injection armed") {
+		t.Fatalf("chaos banner missing:\n%s", buf.String())
+	}
+
+	total := 0
+	for seed := 1; seed <= 4; seed++ {
+		for _, horizon := range []int{512, 1024, 2048, 4096} {
+			body := fmt.Sprintf(`{"Scenario":{"N":12,"Agents":8,"K":4,"Seed":%d,"Horizon":%d}}`, seed, horizon)
+			resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit status = %d", resp.StatusCode)
+			}
+			total++
+		}
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("chaos drain exited nonzero: %v; output:\n%s", err, buf.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("chaos drain never completed; output:\n%s", buf.String())
+	}
+	out := buf.String()
+	_, repLine, ok := strings.Cut(out, "drained ")
+	if !ok {
+		t.Fatalf("no drain report:\n%s", out)
+	}
+	var nDone, nFailed, nAborted, nCanceled, nPinned int
+	if _, err := fmt.Sscanf(repLine, "done=%d failed=%d aborted=%d canceled=%d pinned=%d",
+		&nDone, &nFailed, &nAborted, &nCanceled, &nPinned); err != nil {
+		t.Fatalf("unparseable drain report %q: %v", repLine, err)
+	}
+	if nDone+nFailed+nAborted+nCanceled != total {
+		t.Fatalf("drain accounted for %d of %d jobs:\n%s", nDone+nFailed+nAborted+nCanceled, total, out)
+	}
+	if nPinned != 0 {
+		t.Fatalf("chaos drain leaked %d pins:\n%s", nPinned, out)
+	}
+	if nFailed == 0 && nCanceled == 0 {
+		t.Fatalf("chaos schedule injected no faults (done=%d): suspicious\n%s", nDone, out)
 	}
 }
 

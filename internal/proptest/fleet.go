@@ -156,7 +156,39 @@ func CheckFleetEngines(c FleetCase) error {
 		}
 	}
 	simulator.SetInvertedFloor(prevFloor)
+	if err := checkCancelledRerun(c, eng, env, want); err != nil {
+		return err
+	}
 	return checkContactEngine(c, agents, env, want)
+}
+
+// checkCancelledRerun is the cancellation clause: cancel a session run
+// at a seed-derived block window, then re-run on the very same session.
+// The cancelled run may only record meetings the oracle has —
+// byte-identical per pair, the partial-prefix contract — and the re-run
+// must reproduce the oracle exactly, proving a cancelled run leaves the
+// session, every pooled scratch buffer, and the cache-pin bookkeeping
+// in the same reusable state as a completed one.
+func checkCancelledRerun(c FleetCase, eng *simulator.Engine, env simulator.Environment, want map[[2]string]simulator.Meeting) error {
+	sess := eng.Session()
+	defer sess.Close()
+	for _, workers := range []int{2, 5} {
+		canc := &simulator.Canceler{}
+		canc.CancelAfterPolls(1 + int64(c.Sc.Seed%7))
+		sess.SetCanceler(canc)
+		partial := ResultMeetings(sess.RunJointParallelEnv(c.Sc.Horizon, workers, env))
+		for key, m := range partial {
+			if w, ok := want[key]; !ok || w != m {
+				return fmt.Errorf("cancelled run (workers=%d) recorded %v=%+v, oracle has %+v", workers, key, m, want[key])
+			}
+		}
+		sess.SetCanceler(nil)
+		sess.Reset()
+		if err := sameMeetings(want, ResultMeetings(sess.RunJointParallelEnv(c.Sc.Horizon, workers, env))); err != nil {
+			return fmt.Errorf("post-cancel session re-run (workers=%d) vs oracle: %w", workers, err)
+		}
+	}
+	return nil
 }
 
 // checkContactEngine is the contact-sparse clause of CheckFleetEngines:
@@ -199,6 +231,13 @@ func checkContactEngine(c FleetCase, agents []simulator.Agent, env simulator.Env
 			if err := sameMeetings(filtered, ResultMeetings(ceng.RunJointParallelEnv(c.Sc.Horizon, workers, env))); err != nil {
 				return fmt.Errorf("contact engine (floor=%d, workers=%d) vs in-range oracle: %w", floor, workers, err)
 			}
+		}
+		// Cancellation under both pair-state layouts: the CSR layout
+		// (floor=0) routes the sparse kernel, the triangular layout the
+		// occupancy/inverted kernels, and both must honor the
+		// cancelled-prefix + clean-re-run contract.
+		if err := checkCancelledRerun(c, ceng, env, filtered); err != nil {
+			return fmt.Errorf("contact engine (floor=%d): %w", floor, err)
 		}
 	}
 	return nil

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"rendezvous/internal/simulator"
+	"rendezvous/internal/tablecache"
+)
+
+// chaosFault maps a job id to its injected fault. The id is a content
+// hash of the spec, so the whole schedule of faults is deterministic:
+// the same job list always stalls, panics, and cancels the same jobs.
+func chaosFault(id string) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % 4)
+}
+
+const (
+	faultNone = iota
+	faultStall
+	faultPanic
+	faultCancel
+)
+
+// chaosHook is the PreRun fault injector: worker stalls, mid-job
+// panics, and engine-level cancellations, all keyed on the job id.
+func chaosHook(j *Job) {
+	switch chaosFault(j.ID) {
+	case faultStall:
+		time.Sleep(2 * time.Millisecond)
+	case faultPanic:
+		panic("chaos: injected panic")
+	case faultCancel:
+		j.CancelEngine()
+	}
+}
+
+// TestChaosDrainUnderFaults is the fault-injection harness: a manager
+// under a pathological 1-byte table cache runs a deterministic job load
+// while the PreRun seam stalls workers, panics mid-job, and fires
+// cancellations. The drain must account for every job with the status
+// its fault dictates, report zero leaked pins, and every job that
+// survived to done must match a fault-free control manager byte for
+// byte.
+func TestChaosDrainUnderFaults(t *testing.T) {
+	// A 1-byte budget means no table ever stays resident past its pins:
+	// constant eviction pressure under exactly the load the pins guard.
+	chaosCache := tablecache.New(1)
+	prev := simulator.SetTableCache(chaosCache)
+	t.Cleanup(func() { simulator.SetTableCache(prev) })
+
+	mgr := NewManager(Config{
+		Workers: 4,
+		Cache:   chaosCache,
+		PreRun:  chaosHook,
+	})
+	var jobs []*Job
+	for seed := uint64(1); seed <= 4; seed++ {
+		for _, horizon := range []int{512, 1024, 2048, 4096, 8192} {
+			job, created, err := mgr.Submit(testSpec(seed, horizon))
+			if err != nil || !created {
+				t.Fatalf("submit(seed=%d h=%d): created=%v err=%v", seed, horizon, created, err)
+			}
+			jobs = append(jobs, job)
+		}
+	}
+	rep := mgr.Drain(time.Minute)
+	if got := rep.Done + rep.Failed + rep.Aborted + rep.Canceled; got != len(jobs) {
+		t.Fatalf("drain accounted for %d of %d jobs: %+v", got, len(jobs), rep)
+	}
+	if rep.Pinned != 0 {
+		t.Fatalf("chaos drain leaked %d pins", rep.Pinned)
+	}
+	if st := chaosCache.Stats(); st.Pinned != 0 || st.Refs != 0 {
+		t.Fatalf("cache pins after chaos drain: %+v", st)
+	}
+
+	// Each job's terminal status is dictated by its fault.
+	var survivors []*Job
+	for _, j := range jobs {
+		status, msg, res := j.Snapshot()
+		switch chaosFault(j.ID) {
+		case faultPanic:
+			if status != StatusFailed || res != nil {
+				t.Fatalf("panic-injected job %s: status %s (%s)", j.ID, status, msg)
+			}
+		case faultCancel:
+			if status != StatusCanceled || res != nil {
+				t.Fatalf("cancel-injected job %s: status %s (%s)", j.ID, status, msg)
+			}
+		default:
+			if status != StatusDone || res == nil {
+				t.Fatalf("unfaulted job %s: status %s (%s)", j.ID, status, msg)
+			}
+			survivors = append(survivors, j)
+		}
+	}
+	if len(survivors) == 0 {
+		t.Fatal("fault schedule left no surviving jobs; pick different specs")
+	}
+
+	// Survivors must be byte-identical to a fault-free control manager
+	// on a normal cache: neither the chaos around them nor the 1-byte
+	// budget may leak into results.
+	ctrlCache := tablecache.New(32 << 20)
+	simulator.SetTableCache(ctrlCache)
+	ctrl := NewManager(Config{Workers: 1, Cache: ctrlCache})
+	defer ctrl.Drain(time.Minute)
+	for _, j := range survivors {
+		cj, _, err := ctrl.Submit(j.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cj.Wait()
+		_, _, got := j.Snapshot()
+		_, _, want := cj.Snapshot()
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(want)
+		if string(gb) != string(wb) {
+			t.Fatalf("job %s survived chaos with a different result:\n%s\n%s", j.ID, gb, wb)
+		}
+	}
+}

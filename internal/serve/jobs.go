@@ -36,7 +36,20 @@ const (
 	// StatusAborted marks a job that was still queued when the drain
 	// deadline passed: reported, never silently dropped.
 	StatusAborted JobStatus = "aborted"
+	// StatusCanceled marks a job stopped by DELETE /v1/jobs/{id} or its
+	// per-job deadline: the engine run halts at its next block-window
+	// boundary (simulator.Canceler) and the partial result is discarded.
+	StatusCanceled JobStatus = "canceled"
 )
+
+// terminalStatus reports whether a status is final.
+func terminalStatus(s JobStatus) bool {
+	switch s {
+	case StatusDone, StatusFailed, StatusAborted, StatusCanceled:
+		return true
+	}
+	return false
+}
 
 // JobSpec is one simulation request: a scenario (the fleet, its
 // dynamics, and the horizon — everything derived from Scenario.Seed)
@@ -55,6 +68,12 @@ type JobSpec struct {
 	// IncludeMeetings adds the first MaxMeetings meetings (canonical
 	// slot-then-name order) to the result.
 	IncludeMeetings bool
+	// TimeoutMs is the per-job deadline in milliseconds; 0 inherits the
+	// server's Config.JobTimeout. A job past its deadline is canceled at
+	// the engine's next block-window boundary and reported canceled —
+	// the deadline never yields a partial result. omitempty keeps job
+	// ids stable for specs that never set it.
+	TimeoutMs int `json:",omitempty"`
 }
 
 // MaxMeetings caps the meetings list in a job result.
@@ -108,6 +127,7 @@ func (s JobSpec) fleetKey() string {
 	s.Scenario.Horizon = 0
 	s.EngineWorkers = 0
 	s.IncludeMeetings = false
+	s.TimeoutMs = 0
 	return s.id()
 }
 
@@ -129,10 +149,21 @@ type Job struct {
 	ID   string
 	Spec JobSpec
 
+	// fleet is the spec's fleetKey, cached for quota bookkeeping.
+	fleet string
+	// canc is the job's cancellation seam into the engine: DELETE and
+	// the deadline timer fire it, the worker installs it on the session
+	// before running. Always non-nil for jobs created by Submit.
+	canc *simulator.Canceler
+	// deadlined records that the canceler was fired by the deadline
+	// timer (vs an explicit DELETE), for the error message.
+	deadlined atomic.Bool
+
 	mu     sync.Mutex
 	status JobStatus
 	err    string
 	result *JobResult
+	doneAt time.Time // when a terminal status landed; TTL eviction clock
 	done   chan struct{}
 }
 
@@ -147,21 +178,61 @@ func (j *Job) Snapshot() (JobStatus, string, *JobResult) {
 // Wait blocks until the job reaches a terminal status.
 func (j *Job) Wait() { <-j.done }
 
-func (j *Job) setRunning() {
+// CancelEngine fires the job's engine-level canceler without settling
+// its status: a run in flight stops at its next block-window boundary
+// and the worker reports the job canceled. The chaos harness injects
+// cancellations through this; clients use Manager.Cancel (DELETE).
+func (j *Job) CancelEngine() { j.canc.Cancel() }
+
+// setRunning claims the job for a worker. It fails when the job was
+// canceled while still queued: the worker then just skips it.
+func (j *Job) setRunning() bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
 	j.status = StatusRunning
-	j.mu.Unlock()
+	return true
 }
 
-func (j *Job) finish(status JobStatus, res *JobResult, err error) {
+// finish moves the job to a terminal status, reporting whether this
+// call made the transition. Terminal states are sticky: a worker
+// completing a run races DELETE's immediate cancel, and whichever
+// lands first wins while the loser becomes a no-op (close(done) must
+// fire exactly once).
+func (j *Job) finish(status JobStatus, res *JobResult, err error) bool {
 	j.mu.Lock()
+	if terminalStatus(j.status) {
+		j.mu.Unlock()
+		return false
+	}
 	j.status = status
 	j.result = res
 	if err != nil {
 		j.err = err.Error()
 	}
+	j.doneAt = time.Now()
 	j.mu.Unlock()
 	close(j.done)
+	return true
+}
+
+// expired reports whether the job has sat in a terminal status for at
+// least ttl as of now.
+func (j *Job) expired(now time.Time, ttl time.Duration) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return terminalStatus(j.status) && now.Sub(j.doneAt) >= ttl
+}
+
+// timeout resolves the job's effective deadline: the spec's TimeoutMs
+// when set, else the server default (0 = none).
+func (j *Job) timeout(def time.Duration) time.Duration {
+	if j.Spec.TimeoutMs > 0 {
+		return time.Duration(j.Spec.TimeoutMs) * time.Millisecond
+	}
+	return def
 }
 
 // Config parameterizes a Manager (and the Server wrapping it).
@@ -183,6 +254,23 @@ type Config struct {
 	// MaxScheduleSlots bounds the hop-table length /v1/schedule
 	// returns; ≤ 0 means 65536.
 	MaxScheduleSlots int
+	// JobTTL bounds how long a terminal job stays queryable before the
+	// sweeper evicts it from the jobs map (the map otherwise grows
+	// forever under sustained load). 0 means 15 minutes; negative
+	// disables eviction. Live (queued/running) jobs are never evicted.
+	JobTTL time.Duration
+	// JobTimeout is the default per-job deadline; 0 means none.
+	// JobSpec.TimeoutMs overrides it per job.
+	JobTimeout time.Duration
+	// MaxPerFleet caps the live (queued or running) jobs per fleet
+	// shape, so one misbehaving client hammering a single expensive
+	// fleet cannot monopolize the queue; ≤ 0 means unlimited.
+	MaxPerFleet int
+	// PreRun, when set, runs on the worker goroutine immediately after
+	// a job is claimed and before it executes. It is the deterministic
+	// fault-injection seam the chaos tests use (stalls, panics,
+	// cancellations); leave nil in production.
+	PreRun func(*Job)
 }
 
 func (c Config) withDefaults() Config {
@@ -201,6 +289,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxScheduleSlots <= 0 {
 		c.MaxScheduleSlots = 65536
 	}
+	if c.JobTTL == 0 {
+		c.JobTTL = 15 * time.Minute
+	}
 	return c
 }
 
@@ -209,30 +300,44 @@ type Manager struct {
 	cfg   Config
 	queue chan *Job
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	closed bool
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	fleetActive map[string]int // live (non-terminal) jobs per fleet shape
+	closed      bool
 
 	// lateAbort flips when the drain deadline passes: workers then
 	// mark still-queued jobs aborted instead of running them.
 	lateAbort atomic.Bool
 	wg        sync.WaitGroup
+	stopSweep chan struct{}
+	sweepDone chan struct{}
 
 	sessionsOpened atomic.Int64
 	sessionsReused atomic.Int64
+	jobsEvicted    atomic.Int64
+	quotaRejected  atomic.Int64
+	shed           atomic.Int64
 }
 
 // NewManager starts the worker pool.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
-		cfg:   cfg,
-		queue: make(chan *Job, cfg.QueueDepth),
-		jobs:  make(map[string]*Job),
+		cfg:         cfg,
+		queue:       make(chan *Job, cfg.QueueDepth),
+		jobs:        make(map[string]*Job),
+		fleetActive: make(map[string]int),
+		stopSweep:   make(chan struct{}),
+		sweepDone:   make(chan struct{}),
 	}
 	m.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go m.worker()
+	}
+	if cfg.JobTTL > 0 {
+		go m.sweeper()
+	} else {
+		close(m.sweepDone)
 	}
 	return m
 }
@@ -242,6 +347,12 @@ var ErrQueueFull = fmt.Errorf("serve: job queue full")
 
 // ErrDraining rejects submissions after Drain began.
 var ErrDraining = fmt.Errorf("serve: draining, not accepting jobs")
+
+// ErrQuotaExceeded rejects submissions past the per-fleet-shape cap.
+var ErrQuotaExceeded = fmt.Errorf("serve: per-fleet job quota exceeded")
+
+// errCanceled is the error recorded for explicitly canceled jobs.
+var errCanceled = fmt.Errorf("job canceled")
 
 // Submit validates and enqueues a job, returning the tracked Job and
 // whether this call created it. Resubmitting an identical spec returns
@@ -260,14 +371,105 @@ func (m *Manager) Submit(spec JobSpec) (job *Job, created bool, err error) {
 	if m.closed {
 		return nil, false, ErrDraining
 	}
-	j := &Job{ID: id, Spec: spec, status: StatusQueued, done: make(chan struct{})}
+	fleet := spec.fleetKey()
+	if m.cfg.MaxPerFleet > 0 && m.fleetActive[fleet] >= m.cfg.MaxPerFleet {
+		m.quotaRejected.Add(1)
+		return nil, false, ErrQuotaExceeded
+	}
+	j := &Job{
+		ID: id, Spec: spec, fleet: fleet,
+		canc:   &simulator.Canceler{},
+		status: StatusQueued, done: make(chan struct{}),
+	}
 	select {
 	case m.queue <- j:
 	default:
+		m.shed.Add(1)
 		return nil, false, ErrQueueFull
 	}
 	m.jobs[id] = j
+	m.fleetActive[fleet]++
 	return j, true, nil
+}
+
+// finishJob moves a job to a terminal status and, when this call made
+// the transition, releases its slot in the per-fleet quota. Every
+// finish in the manager goes through here so the quota cannot leak.
+func (m *Manager) finishJob(j *Job, status JobStatus, res *JobResult, err error) {
+	if !j.finish(status, res, err) {
+		return
+	}
+	m.mu.Lock()
+	if m.fleetActive[j.fleet]--; m.fleetActive[j.fleet] <= 0 {
+		delete(m.fleetActive, j.fleet)
+	}
+	m.mu.Unlock()
+}
+
+// Cancel stops the job with the given id. A queued job is finished
+// canceled on the spot (the worker that later dequeues it skips it); a
+// running job has its canceler fired, stopping the engine at its next
+// block-window boundary; a job already terminal is evicted from the
+// jobs map instead (manual DELETE doubles as eviction). The returned
+// job reflects the post-cancel state.
+func (m *Manager) Cancel(id string) (*Job, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	if status, _, _ := j.Snapshot(); terminalStatus(status) {
+		m.mu.Lock()
+		if _, still := m.jobs[id]; still {
+			delete(m.jobs, id)
+			m.jobsEvicted.Add(1)
+		}
+		m.mu.Unlock()
+		return j, true
+	}
+	// Fire the engine seam first so a running job stops promptly, then
+	// settle the status; if the worker's own finish wins the race the
+	// job completes normally and this finish is a no-op.
+	j.canc.Cancel()
+	m.finishJob(j, StatusCanceled, nil, errCanceled)
+	return j, true
+}
+
+// sweeper evicts expired terminal jobs every quarter-TTL until Drain.
+func (m *Manager) sweeper() {
+	defer close(m.sweepDone)
+	tick := m.cfg.JobTTL / 4
+	if tick < 100*time.Millisecond {
+		tick = 100 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopSweep:
+			return
+		case now := <-t.C:
+			m.evictExpired(now)
+		}
+	}
+}
+
+// evictExpired removes terminal jobs older than the TTL as of now,
+// returning how many it evicted. Split from the sweeper goroutine so
+// tests can drive the clock directly.
+func (m *Manager) evictExpired(now time.Time) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for id, j := range m.jobs {
+		if j.expired(now, m.cfg.JobTTL) {
+			delete(m.jobs, id)
+			n++
+		}
+	}
+	m.jobsEvicted.Add(int64(n))
+	return n
 }
 
 // Job returns the tracked job with the given id.
@@ -287,7 +489,7 @@ func (m *Manager) worker() {
 	defer pool.close()
 	for j := range m.queue {
 		if m.lateAbort.Load() {
-			j.finish(StatusAborted, nil, fmt.Errorf("drain deadline passed before the job started"))
+			m.finishJob(j, StatusAborted, nil, fmt.Errorf("drain deadline passed before the job started"))
 			continue
 		}
 		m.runJob(pool, j)
@@ -295,38 +497,69 @@ func (m *Manager) worker() {
 }
 
 // runJob executes one job on the worker's session pool. A panic
-// (schedule-contract violation in a hostile spec) fails the job rather
-// than the daemon.
+// (schedule-contract violation in a hostile spec, or one injected by
+// the chaos hook) fails the job rather than the daemon.
 func (m *Manager) runJob(pool *sessionPool, j *Job) {
-	j.setRunning()
+	if !j.setRunning() {
+		// Canceled while queued: the cancel already settled the status.
+		return
+	}
+	var fs *fleetSession
 	defer func() {
 		if r := recover(); r != nil {
-			j.finish(StatusFailed, nil, fmt.Errorf("job panicked: %v", r))
+			if fs != nil {
+				// The pooled session outlives this job; never leave a
+				// fired canceler installed for the next one.
+				fs.sess.SetCanceler(nil)
+			}
+			m.finishJob(j, StatusFailed, nil, fmt.Errorf("job panicked: %v", r))
 		}
 	}()
+	if hook := m.cfg.PreRun; hook != nil {
+		hook(j)
+	}
+	if d := j.timeout(m.cfg.JobTimeout); d > 0 {
+		timer := time.AfterFunc(d, func() {
+			j.deadlined.Store(true)
+			j.canc.Cancel()
+		})
+		defer timer.Stop()
+	}
 	sc := j.Spec.Scenario
-	key := j.Spec.fleetKey()
-	fs := pool.get(key)
+	fs = pool.get(j.fleet)
 	if fs == nil {
 		build, err := scenario.BuilderFor(j.Spec.Alg, sc.N, sc.Seed)
 		if err != nil {
-			j.finish(StatusFailed, nil, err)
+			m.finishJob(j, StatusFailed, nil, err)
 			return
 		}
 		fl, err := sc.Open(build)
 		if err != nil {
-			j.finish(StatusFailed, nil, err)
+			m.finishJob(j, StatusFailed, nil, err)
 			return
 		}
 		fs = &fleetSession{fl: fl, sess: fl.Eng.Session()}
-		if evicted := pool.put(key, fs); evicted != nil {
+		if evicted := pool.put(j.fleet, fs); evicted != nil {
 			evicted.fl.Close()
 		}
 		m.sessionsOpened.Add(1)
 	} else {
 		m.sessionsReused.Add(1)
 	}
+	fs.sess.SetCanceler(j.canc)
 	res := fs.sess.RunParallelEnv(sc.Horizon, j.Spec.EngineWorkers, fs.fl.Env)
+	fs.sess.SetCanceler(nil)
+	if j.canc.Canceled() {
+		// Drop the partial run state so the pooled session's next job
+		// starts from a clean Result.
+		fs.sess.Reset()
+		why := errCanceled
+		if j.deadlined.Load() {
+			why = fmt.Errorf("job deadline exceeded after %v", j.timeout(m.cfg.JobTimeout))
+		}
+		m.finishJob(j, StatusCanceled, nil, why)
+		return
+	}
 	cov := fs.fl.Summarize(res, sc.Horizon)
 	out := &JobResult{Coverage: cov, MetFrac: cov.MetFrac()}
 	if j.Spec.IncludeMeetings {
@@ -337,7 +570,7 @@ func (m *Manager) runJob(pool *sessionPool, j *Job) {
 		}
 		out.Meetings = ms
 	}
-	j.finish(StatusDone, out, nil)
+	m.finishJob(j, StatusDone, out, nil)
 }
 
 // fleetSession is one worker's reusable run state for a fleet shape.
@@ -398,9 +631,10 @@ func (p *sessionPool) close() {
 
 // DrainReport summarizes a completed drain.
 type DrainReport struct {
-	Done    int
-	Failed  int
-	Aborted int
+	Done     int
+	Failed   int
+	Aborted  int
+	Canceled int
 	// Pinned is the cache's outstanding-pin entry count after every
 	// worker released its engines; nonzero means a pin leak.
 	Pinned int
@@ -417,8 +651,10 @@ func (m *Manager) Drain(timeout time.Duration) DrainReport {
 	if !m.closed {
 		m.closed = true
 		close(m.queue)
+		close(m.stopSweep)
 	}
 	m.mu.Unlock()
+	<-m.sweepDone
 	var timer *time.Timer
 	if timeout > 0 {
 		timer = time.AfterFunc(timeout, func() { m.lateAbort.Store(true) })
@@ -439,6 +675,8 @@ func (m *Manager) Drain(timeout time.Duration) DrainReport {
 			rep.Failed++
 		case StatusAborted:
 			rep.Aborted++
+		case StatusCanceled:
+			rep.Canceled++
 		}
 	}
 	m.mu.Unlock()
@@ -448,7 +686,7 @@ func (m *Manager) Drain(timeout time.Duration) DrainReport {
 
 // JobCounts is the per-status job census for stats.
 type JobCounts struct {
-	Queued, Running, Done, Failed, Aborted int
+	Queued, Running, Done, Failed, Aborted, Canceled int
 }
 
 // ManagerStats is the manager's point-in-time observability snapshot.
@@ -459,6 +697,13 @@ type ManagerStats struct {
 	Jobs           JobCounts
 	SessionsOpened int64
 	SessionsReused int64
+	// JobsEvicted counts terminal jobs removed from the jobs map (TTL
+	// sweeps and manual DELETEs of finished jobs).
+	JobsEvicted int64
+	// QuotaRejected counts submissions refused by the per-fleet quota.
+	QuotaRejected int64
+	// Shed counts submissions refused because the queue was full.
+	Shed int64
 }
 
 // Stats snapshots the manager.
@@ -469,6 +714,9 @@ func (m *Manager) Stats() ManagerStats {
 		QueueCapacity:  m.cfg.QueueDepth,
 		SessionsOpened: m.sessionsOpened.Load(),
 		SessionsReused: m.sessionsReused.Load(),
+		JobsEvicted:    m.jobsEvicted.Load(),
+		QuotaRejected:  m.quotaRejected.Load(),
+		Shed:           m.shed.Load(),
 	}
 	m.mu.Lock()
 	for _, j := range m.jobs {
@@ -483,6 +731,8 @@ func (m *Manager) Stats() ManagerStats {
 			st.Jobs.Failed++
 		case StatusAborted:
 			st.Jobs.Aborted++
+		case StatusCanceled:
+			st.Jobs.Canceled++
 		}
 	}
 	m.mu.Unlock()

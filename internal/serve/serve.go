@@ -47,6 +47,7 @@ func NewServer(cfg Config) *Server {
 	s.handle("POST /v1/schedule", s.handleSchedule)
 	s.handle("POST /v1/jobs", s.handleSubmit)
 	s.handle("GET /v1/jobs/{id}", s.handleJob)
+	s.handle("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.handle("GET /v1/stats", s.handleStats)
 	s.handle("GET /v1/healthz", s.handleHealthz)
 	return s
@@ -203,7 +204,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, created, err := s.mgr.Submit(spec)
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQuotaExceeded):
+		// Overload, not failure: shed with 429 and tell the client when
+		// to come back. Draining stays 503 (the server is going away,
+		// retrying here won't help).
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
 		writeErr(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -230,6 +238,29 @@ type JobResponse struct {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job, ok := s.mgr.Job(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	status, errMsg, result := job.Snapshot()
+	writeJSON(w, http.StatusOK, JobResponse{ID: job.ID, Status: status, Error: errMsg, Result: result})
+}
+
+// retryAfterSeconds derives a Retry-After hint from queue pressure: a
+// full queue clears at roughly depth/workers job-durations, clamped to
+// [1s, 60s] so clients always get a sane, bounded hint.
+func (s *Server) retryAfterSeconds() int {
+	st := s.mgr.Stats()
+	secs := 1 + st.QueueDepth/max(1, st.Workers)
+	return min(secs, 60)
+}
+
+// handleCancel is DELETE /v1/jobs/{id}: cancel a queued or running job
+// (the engine stops at its next block-window boundary), or evict an
+// already-finished one. The response is the job's post-cancel state.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.mgr.Cancel(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return

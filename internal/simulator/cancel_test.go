@@ -1,0 +1,225 @@
+package simulator
+
+import (
+	"math/rand"
+	"testing"
+
+	"rendezvous/internal/tablecache"
+)
+
+// cancelKernel describes one scan kernel's cancellation fixture: how to
+// build an engine that routes to it and how to run a session on it.
+type cancelKernel struct {
+	name    string
+	workers []int
+	build   func(t *testing.T, rng *rand.Rand) (*Engine, func())
+	run     func(s *Session, horizon, workers int) *Result
+}
+
+// cancelKernels covers all four scan kernels. Each build forces its
+// kernel's routing (restored by the returned cleanup), so the tests pin
+// the cancellation seam per kernel rather than whatever the crossover
+// heuristics happen to pick for a small test fleet.
+func cancelKernels() []cancelKernel {
+	parallel := func(s *Session, horizon, workers int) *Result {
+		return s.RunParallelEnv(horizon, workers, nil)
+	}
+	joint := func(s *Session, horizon, workers int) *Result {
+		return s.RunJointParallelEnv(horizon, workers, nil)
+	}
+	return []cancelKernel{
+		{
+			name:    "pairwise",
+			workers: []int{1, 3},
+			build: func(t *testing.T, rng *rand.Rand) (*Engine, func()) {
+				eng, err := NewEngine(jointTestFleet(t, rng, 10))
+				if err != nil {
+					t.Fatal(err)
+				}
+				prev := SetJointCrossover(1 << 30) // never joint: pin the pairwise kernel
+				return eng, func() { SetJointCrossover(prev) }
+			},
+			run: parallel,
+		},
+		{
+			name:    "sharded",
+			workers: []int{2, 5},
+			build: func(t *testing.T, rng *rand.Rand) (*Engine, func()) {
+				eng, err := NewEngine(jointTestFleet(t, rng, 10))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// 10 agents sit far below the inverted floor, so the joint
+				// entry point routes to the occupancy scan (scanShard).
+				return eng, func() {}
+			},
+			run: joint,
+		},
+		{
+			name:    "inverted",
+			workers: []int{2, 5},
+			build: func(t *testing.T, rng *rand.Rand) (*Engine, func()) {
+				eng, err := NewEngine(jointTestFleet(t, rng, 12))
+				if err != nil {
+					t.Fatal(err)
+				}
+				prev := SetInvertedFloor(0)
+				return eng, func() { SetInvertedFloor(prev) }
+			},
+			run: joint,
+		},
+		{
+			name:    "sparse",
+			workers: []int{2, 5},
+			build: func(t *testing.T, rng *rand.Rand) (*Engine, func()) {
+				n := 24
+				// The pair-state layout is fixed at construction, so the
+				// floor drops first: CSR pair state routes to scanShardSparse.
+				prev := SetSparseStateFloor(0)
+				fleet := jointTestFleet(t, rng, n)
+				eng, err := NewEngineContact(fleet, randomTopology(rng, n, 3, 3, 1.0))
+				if err != nil {
+					SetSparseStateFloor(prev)
+					t.Fatal(err)
+				}
+				return eng, func() { SetSparseStateFloor(prev) }
+			},
+			run: joint,
+		},
+	}
+}
+
+// TestCancelMidRun pins the cancellation contract at window boundaries
+// for every scan kernel: a cancel before the first window yields an
+// empty result, a mid-scan cancel yields a subset of the uncancelled
+// run's meetings (each recorded meeting byte-identical to the full
+// run's for that pair), a budget past the last window is
+// indistinguishable from no canceler at all — and after any of them, a
+// Reset + re-run on the same session reproduces the fresh engine's
+// result exactly.
+func TestCancelMidRun(t *testing.T) {
+	for _, k := range cancelKernels() {
+		t.Run(k.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(97))
+			eng, restore := k.build(t, rng)
+			defer restore()
+			const horizon = 4096
+			fullRes := eng.RunEnv(horizon, nil)
+			want := renderMeetings(fullRes)
+			fullByPair := map[[2]string]Meeting{}
+			for _, m := range fullRes.Meetings() {
+				fullByPair[[2]string{m.A, m.B}] = m
+			}
+			for _, workers := range k.workers {
+				sess := eng.Session()
+				// Before the first window: the very first block check fires.
+				canc := &Canceler{}
+				canc.CancelAfterPolls(1)
+				sess.SetCanceler(canc)
+				if got := k.run(sess, horizon, workers); got.MetCount() != 0 {
+					t.Fatalf("workers=%d: cancel before first window recorded %d meetings", workers, got.MetCount())
+				}
+				// Mid-scan, at several window boundaries.
+				for _, polls := range []int64{2, 3, 5, 9} {
+					canc = &Canceler{}
+					canc.CancelAfterPolls(polls)
+					sess.SetCanceler(canc)
+					partial := k.run(sess, horizon, workers)
+					if !canc.Canceled() {
+						t.Fatalf("workers=%d polls=%d: canceler did not fire", workers, polls)
+					}
+					for _, m := range partial.Meetings() {
+						if fullByPair[[2]string{m.A, m.B}] != m {
+							t.Fatalf("workers=%d polls=%d: cancelled run recorded %+v, full run has %+v",
+								workers, polls, m, fullByPair[[2]string{m.A, m.B}])
+						}
+					}
+					// Reset + re-run must be byte-identical to a fresh engine.
+					sess.SetCanceler(nil)
+					sess.Reset()
+					if got := renderMeetings(k.run(sess, horizon, workers)); got != want {
+						t.Fatalf("workers=%d polls=%d: post-cancel re-run diverged:\n got %s\nwant %s",
+							workers, polls, got, want)
+					}
+				}
+				// Past the last window: never fires, result uncancelled.
+				canc = &Canceler{}
+				canc.CancelAfterPolls(1 << 40)
+				sess.SetCanceler(canc)
+				if got := renderMeetings(k.run(sess, horizon, workers)); got != want {
+					t.Fatalf("workers=%d: unfired canceler changed the result:\n got %s\nwant %s", workers, got, want)
+				}
+				if canc.Canceled() {
+					t.Fatalf("workers=%d: oversized poll budget fired", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestCancelSerialRun covers the serial block and per-slot paths (RunEnv
+// under a session), which share the same block-cadence poll discipline.
+func TestCancelSerialRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	eng, err := NewEngine(jointTestFleet(t, rng, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 4096
+	for _, blocks := range []bool{true, false} {
+		prev := SetBlockEval(blocks)
+		want := renderMeetings(eng.RunEnv(horizon, nil))
+		sess := eng.Session()
+		canc := &Canceler{}
+		canc.CancelAfterPolls(3)
+		sess.SetCanceler(canc)
+		partial := sess.RunEnv(horizon, nil)
+		// The serial scans advance strictly in time order, so a cancelled
+		// run is an exact horizon prefix: every recorded meeting must
+		// appear verbatim in the full run.
+		full := map[[2]string]Meeting{}
+		for _, m := range eng.RunEnv(horizon, nil).Meetings() {
+			full[[2]string{m.A, m.B}] = m
+		}
+		for _, m := range partial.Meetings() {
+			if full[[2]string{m.A, m.B}] != m {
+				t.Fatalf("blocks=%v: cancelled serial run recorded %+v not in full run", blocks, m)
+			}
+		}
+		sess.SetCanceler(nil)
+		sess.Reset()
+		if got := renderMeetings(sess.RunEnv(horizon, nil)); got != want {
+			t.Fatalf("blocks=%v: post-cancel serial re-run diverged:\n got %s\nwant %s", blocks, got, want)
+		}
+		SetBlockEval(prev)
+	}
+}
+
+// TestCancelLeavesNoPins pins the resource half of the contract: a
+// cancelled run (any kernel) leaves the engine's cache pins exactly as
+// trackable as an uncancelled one — Close releases every pin, and an
+// isolated cache reports zero pinned entries afterwards.
+func TestCancelLeavesNoPins(t *testing.T) {
+	for _, k := range cancelKernels() {
+		t.Run(k.name, func(t *testing.T) {
+			cache := tablecache.New(32 << 20)
+			prevCache := SetTableCache(cache)
+			defer SetTableCache(prevCache)
+			rng := rand.New(rand.NewSource(53))
+			eng, restore := k.build(t, rng)
+			defer restore()
+			const horizon = 4096
+			sess := eng.Session()
+			for _, polls := range []int64{1, 4} {
+				canc := &Canceler{}
+				canc.CancelAfterPolls(polls)
+				sess.SetCanceler(canc)
+				k.run(sess, horizon, k.workers[len(k.workers)-1])
+			}
+			sess.Close()
+			if st := cache.Stats(); st.Pinned != 0 || st.Refs != 0 {
+				t.Fatalf("cancelled runs leaked pins: %+v", st)
+			}
+		})
+	}
+}

@@ -307,6 +307,11 @@ type shardState struct {
 	// solo marks a single-worker run: the seen bitset has no other
 	// writers, so the scan may update it without atomics.
 	solo bool
+	// cancel is the run's cooperative stop seam, polled once per
+	// 256-slot block at the top of each kernel's block loop (never
+	// inside the //go:noinline group kernels — see the miscompilation
+	// guards there). Nil on uncancellable runs.
+	cancel *Canceler
 }
 
 // scanShardInverted is scanShard's inverted-index counterpart: it runs
@@ -314,11 +319,13 @@ type shardState struct {
 // pair's first hit within this worker's windows into st.hits and
 // feeding the shared cancellation state. The hit array, seen-bitset,
 // and ordering contract are identical to scanShard's, so the sharded
-// merge consumes either scan's output interchangeably. wide selects
-// scanGroupWide's heap bitsets over scanGroup's register array — a
-// routing input (not derived from the fleet here) so tests can force
-// the wide kernel on small fleets.
-func (e *Engine) scanShardInverted(plan *runPlan, sc *jointScratch, isc *invertedScratch, st *shardState, lo, hi int, wide bool) {
+// merge consumes either scan's output interchangeably; the returned
+// bool reports whether [lo, hi) was scanned to completion (false when
+// st.cancel fired mid-window). wide selects scanGroupWide's heap
+// bitsets over scanGroup's register array — a routing input (not
+// derived from the fleet here) so tests can force the wide kernel on
+// small fleets.
+func (e *Engine) scanShardInverted(plan *runPlan, sc *jointScratch, isc *invertedScratch, st *shardState, lo, hi int, wide bool) bool {
 	n := len(e.agents)
 	rowBase := e.rowBase
 	mbase := e.metRowBase[:n] // built by metSeed before workers spawn
@@ -346,6 +353,9 @@ func (e *Engine) scanShardInverted(plan *runPlan, sc *jointScratch, isc *inverte
 		st: st, meetable: meetable, solo: solo,
 	}
 	for base := lo; base < hi; base += blockLen {
+		if st.cancel.poll() {
+			return false
+		}
 		m := min(blockLen, hi-base)
 		e.fillBlockWindowClamped(plan, sc, isc.from, isc.to, base, m)
 		transposeIDs(ids, sc.bufs, n, m)
@@ -388,6 +398,7 @@ func (e *Engine) scanShardInverted(plan *runPlan, sc *jointScratch, isc *inverte
 			post.ResetSlot()
 		}
 	}
+	return true
 }
 
 // groupScanCtx carries the scan-invariant state one worker's

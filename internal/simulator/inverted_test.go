@@ -27,7 +27,7 @@ func TestInvertedWordBoundaryFleets(t *testing.T) {
 				for _, window := range []int{blockLen, 4 * blockLen} {
 					for _, kind := range []scanKind{scanInverted, scanInvertedWide} {
 						res := eng.newResult(horizon)
-						eng.runJointSharded(res, horizon, workers, window, env, eng.meetablePairs(horizon), kind)
+						eng.runJointSharded(res, horizon, workers, window, env, eng.meetablePairs(horizon), kind, nil)
 						if got := renderMeetings(res); got != want {
 							t.Fatalf("agents=%d env=%v workers=%d window=%d kind=%v diverged:\n got %s\nwant %s",
 								agents, env, workers, window, kind, got, want)

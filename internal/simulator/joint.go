@@ -25,8 +25,12 @@ import (
 // every window that produced those hits, so any meeting it could find
 // would be at a later slot than an existing hit for its pair — skipping
 // it cannot change any per-pair minimum. In-flight windows always run
-// to completion (one of them may still hold a pair's true first
-// meeting), so cancellation affects wall-clock only, never the Result.
+// to completion under early exit (one of them may still hold a pair's
+// true first meeting), so the early exit affects wall-clock only, never
+// the Result. External cancellation (Canceler) is the one exception:
+// it stops in-flight windows at their next block boundary too, trading
+// completeness for latency — the merged Result is then a partial subset
+// of the true first meetings, which is exactly the Canceler contract.
 
 // hit32 is one worker's first observed meeting for a pair: s is the
 // global slot + 1 (0 = no hit in this worker's windows) and ch the
@@ -60,7 +64,7 @@ func (e *Engine) RunJointParallel(horizon, workers int) *Result {
 // RunJointParallelEnv is RunJointParallel under an optional
 // Environment; see RunEnv for the availability semantics.
 func (e *Engine) RunJointParallelEnv(horizon, workers int, env Environment) *Result {
-	return e.runJointParallelEnvInto(e.newResult(horizon), horizon, workers, env, e.meetablePairs(horizon))
+	return e.runJointParallelEnvInto(e.newResult(horizon), horizon, workers, env, e.meetablePairs(horizon), nil)
 }
 
 // scanKind selects the sharded scan a run uses. All kinds honor the
@@ -92,7 +96,7 @@ func (k scanKind) route() Route {
 // caller-owned result; meetable is the caller's meetablePairs(horizon)
 // count, so routing callers that already counted (RunParallelEnv's
 // crossover test) never scan the pair space twice.
-func (e *Engine) runJointParallelEnvInto(res *Result, horizon, workers int, env Environment, meetable int) *Result {
+func (e *Engine) runJointParallelEnvInto(res *Result, horizon, workers int, env Environment, meetable int, c *Canceler) *Result {
 	if horizon <= 0 {
 		e.setRoute(RouteSerial)
 		return res
@@ -115,14 +119,14 @@ func (e *Engine) runJointParallelEnvInto(res *Result, horizon, workers int, env 
 	if kind == scanOccupancy && (workers <= 1 || horizon >= math.MaxInt32 || !blockEval.Load()) {
 		e.setRoute(RouteSerial)
 		if blockEval.Load() {
-			e.runBlock(res, horizon, env, meetable)
+			e.runBlock(res, horizon, env, meetable, c)
 		} else {
-			e.runSlots(res, horizon, env, meetable)
+			e.runSlots(res, horizon, env, meetable, c)
 		}
 		return res
 	}
 	e.setRoute(kind.route())
-	e.runJointSharded(res, horizon, workers, window, env, meetable, kind)
+	e.runJointSharded(res, horizon, workers, window, env, meetable, kind, c)
 	return res
 }
 
@@ -145,7 +149,7 @@ func (e *Engine) getHits(pairs int) []hit32 {
 // directly. kind selects the scan a worker runs per window; every kind
 // honors the identical hit-array and seen-bitset contracts over the
 // engine's pair space, so the merge below is shared.
-func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env Environment, meetableCount int, kind scanKind) {
+func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env Environment, meetableCount int, kind scanKind, c *Canceler) {
 	pairs := e.ps.slots
 	meetable := int64(meetableCount)
 	if meetable == 0 {
@@ -170,6 +174,18 @@ func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env 
 	var seenCount atomic.Int64
 	var done atomic.Bool
 	var nextWin atomic.Int64
+	// winOK tracks which windows were scanned to completion, but only on
+	// cancellable runs: a cancelled worker can abandon a window mid-way
+	// while a later window's hits already landed, and merging those later
+	// hits unfiltered could record a non-first meeting. The merge below
+	// clamps to the completed-window frontier instead, making a cancelled
+	// run byte-identical to an uncancelled run over a block-aligned
+	// horizon prefix. Uncancellable runs (c == nil, the common case) skip
+	// the tracking entirely.
+	var winOK []atomic.Bool
+	if c != nil {
+		winOK = make([]atomic.Bool, windows)
+	}
 	perWorker := e.getWorkerSets(workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -181,7 +197,8 @@ func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env 
 			hits := e.getHits(pairs)
 			perWorker[w] = hits
 			st := &shardState{hits: hits, env: env, seen: seen,
-				seenCount: &seenCount, done: &done, meetable: meetable, solo: workers == 1}
+				seenCount: &seenCount, done: &done, meetable: meetable,
+				solo: workers == 1, cancel: c}
 			var isc *invertedScratch
 			var ssc *sparseScratch
 			switch kind {
@@ -192,20 +209,24 @@ func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env 
 				ssc = e.getSparseScratch()
 				defer e.sparsePool.Put(ssc)
 			}
-			for !done.Load() {
+			for !done.Load() && !c.Canceled() {
 				wi := int(nextWin.Add(1)) - 1
 				if wi >= windows {
 					return
 				}
 				lo := wi * window
 				hi := min(lo+window, horizon)
+				var complete bool
 				switch kind {
 				case scanInverted, scanInvertedWide:
-					e.scanShardInverted(plan, sc, isc, st, lo, hi, kind == scanInvertedWide)
+					complete = e.scanShardInverted(plan, sc, isc, st, lo, hi, kind == scanInvertedWide)
 				case scanSparse:
-					e.scanShardSparse(plan, sc, ssc, st, lo, hi)
+					complete = e.scanShardSparse(plan, sc, ssc, st, lo, hi)
 				default:
-					e.scanShard(plan, sc, hits, lo, hi, env, seen, &seenCount, &done, meetable)
+					complete = e.scanShard(plan, sc, st, lo, hi)
+				}
+				if winOK != nil && complete {
+					winOK[wi].Store(true)
 				}
 			}
 		}(w)
@@ -214,16 +235,34 @@ func (e *Engine) runJointSharded(res *Result, horizon, workers, window int, env 
 	// Serial merge: the per-pair minimum slot across workers. Each
 	// worker processed its windows in increasing time order and kept
 	// only its first hit per pair, so the minimum over workers is the
-	// global first meeting.
+	// global first meeting. On a cancelled run the minimum is only
+	// trustworthy up to the first incomplete window — a hit beyond that
+	// frontier may not be its pair's first — so the merge discards
+	// everything past it (unless done fired first, in which case every
+	// meetable pair already holds its exact first hit).
+	limit := int32(math.MaxInt32)
+	if c.Canceled() && !done.Load() {
+		frontier := windows
+		for wi := range winOK {
+			if !winOK[wi].Load() {
+				frontier = wi
+				break
+			}
+		}
+		limit = int32(min(int64(frontier)*int64(window), int64(horizon))) + 1
+	}
 	e.ps.forEach(func(p, i, j int) {
 		if seen[p>>6]&(1<<(p&63)) == 0 {
 			return
 		}
 		best := hit32{}
 		for w := range perWorker {
-			if h := perWorker[w][p]; h.s != 0 && (best.s == 0 || h.s < best.s) {
+			if h := perWorker[w][p]; h.s != 0 && h.s < limit && (best.s == 0 || h.s < best.s) {
 				best = h
 			}
+		}
+		if best.s == 0 {
+			return // the pair's only hits lie past the cancellation frontier
 		}
 		res.recordAt(p, int(best.s)-1, e.union[best.ch], max(e.agents[i].Wake, e.agents[j].Wake))
 	})
@@ -290,11 +329,21 @@ func setSeenBit(seen []uint64, p int) bool {
 
 // scanShard runs the dense-id occupancy scan over global slots
 // [lo, hi), recording each pair's first hit within this worker's
-// windows into hits and feeding the shared cancellation state.
-func (e *Engine) scanShard(plan *runPlan, sc *jointScratch, hits []hit32, lo, hi int, env Environment,
-	seen []uint64, seenCount *atomic.Int64, done *atomic.Bool, meetable int64) {
+// windows into st.hits and feeding the shared completion and
+// cancellation state. The returned bool reports whether [lo, hi) was
+// scanned to completion (false when st.cancel fired mid-window).
+func (e *Engine) scanShard(plan *runPlan, sc *jointScratch, st *shardState, lo, hi int) bool {
 	topo := e.topo
+	hits := st.hits
+	env := st.env
+	seen := st.seen
+	seenCount := st.seenCount
+	done := st.done
+	meetable := st.meetable
 	for base := lo; base < hi; base += blockLen {
+		if st.cancel.poll() {
+			return false
+		}
 		m := min(blockLen, hi-base)
 		e.fillBlockWindow(plan, sc, base, m)
 		for off := 0; off < m; off++ {
@@ -342,4 +391,5 @@ func (e *Engine) scanShard(plan *runPlan, sc *jointScratch, hits []hit32, lo, hi
 			}
 		}
 	}
+	return true
 }

@@ -51,7 +51,7 @@ func TestJointShardedPartitionInvariance(t *testing.T) {
 			for _, window := range []int{blockLen, 3 * blockLen, 16 * blockLen} {
 				for _, kind := range []scanKind{scanOccupancy, scanInverted, scanInvertedWide} {
 					res := eng.newResult(horizon)
-					eng.runJointSharded(res, horizon, workers, window, env, eng.meetablePairs(horizon), kind)
+					eng.runJointSharded(res, horizon, workers, window, env, eng.meetablePairs(horizon), kind, nil)
 					if got := renderMeetings(res); got != want {
 						t.Fatalf("trial %d workers=%d window=%d kind=%v diverged:\n got %s\nwant %s",
 							trial, workers, window, kind, got, want)

@@ -19,8 +19,9 @@ package simulator
 // valid until the next run on the same session. Callers that need to
 // keep results across runs copy what they need (Meetings materializes).
 type Session struct {
-	e   *Engine
-	res *Result
+	e    *Engine
+	res  *Result
+	canc *Canceler
 }
 
 // Session opens a reusable run context on the engine. Sessions are
@@ -45,6 +46,16 @@ func (s *Session) Reset() {
 // Engine.Close). The session and engine remain usable; Close signals
 // that the fleet's tables may be evicted when cold.
 func (s *Session) Close() { s.e.Close() }
+
+// SetCanceler installs the cooperative stop seam the session's next
+// runs honor (see Canceler). A fired canceler stays fired, so callers
+// reusing a session across jobs install a fresh one per job (or nil to
+// make runs uncancellable again). Cancellation never compromises reuse:
+// after a cancelled run, Reset (or simply the next run's implicit
+// reset) restores the session to a state whose runs are byte-identical
+// to a fresh engine's — the invariant the cancellation proptest clause
+// enforces.
+func (s *Session) SetCanceler(c *Canceler) { s.canc = c }
 
 // result returns the held result, reset and sized for horizon,
 // allocating it on first use.
@@ -71,7 +82,7 @@ func (s *Session) Run(horizon int) *Result { return s.RunEnv(horizon, nil) }
 
 // RunEnv is Engine.RunEnv into the session's recycled result.
 func (s *Session) RunEnv(horizon int, env Environment) *Result {
-	return s.e.runEnvInto(s.result(horizon), horizon, env)
+	return s.e.runEnvInto(s.result(horizon), horizon, env, s.canc)
 }
 
 // RunParallel is Engine.RunParallel into the session's recycled result.
@@ -82,11 +93,11 @@ func (s *Session) RunParallel(horizon, workers int) *Result {
 // RunParallelEnv is Engine.RunParallelEnv into the session's recycled
 // result.
 func (s *Session) RunParallelEnv(horizon, workers int, env Environment) *Result {
-	return s.e.runParallelEnvInto(s.result(horizon), horizon, workers, env)
+	return s.e.runParallelEnvInto(s.result(horizon), horizon, workers, env, s.canc)
 }
 
 // RunJointParallelEnv is Engine.RunJointParallelEnv into the session's
 // recycled result.
 func (s *Session) RunJointParallelEnv(horizon, workers int, env Environment) *Result {
-	return s.e.runJointParallelEnvInto(s.result(horizon), horizon, workers, env, s.e.meetablePairs(horizon))
+	return s.e.runJointParallelEnvInto(s.result(horizon), horizon, workers, env, s.e.meetablePairs(horizon), s.canc)
 }

@@ -713,18 +713,20 @@ func (e *Engine) Run(horizon int) *Result { return e.RunEnv(horizon, nil) }
 // slots where their common channel is available. A nil env means all
 // channels are always available (identical to Run).
 func (e *Engine) RunEnv(horizon int, env Environment) *Result {
-	return e.runEnvInto(e.newResult(horizon), horizon, env)
+	return e.runEnvInto(e.newResult(horizon), horizon, env, nil)
 }
 
 // runEnvInto is RunEnv writing into a caller-owned result (sessions
 // pass their recycled one; the public entry points pass a fresh one).
-func (e *Engine) runEnvInto(res *Result, horizon int, env Environment) *Result {
+// c, when non-nil, is the run's cooperative cancellation seam (see
+// Canceler); every run path threads it down to the scan kernels.
+func (e *Engine) runEnvInto(res *Result, horizon int, env Environment, c *Canceler) *Result {
 	e.setRoute(RouteSerial)
 	meetable := e.meetablePairs(horizon)
 	if blockEval.Load() {
-		e.runBlock(res, horizon, env, meetable)
+		e.runBlock(res, horizon, env, meetable, c)
 	} else {
-		e.runSlots(res, horizon, env, meetable)
+		e.runSlots(res, horizon, env, meetable, c)
 	}
 	return res
 }
@@ -855,14 +857,14 @@ func blockKey(agent, start int) uint64 {
 // the raw channel value from the id→value table only at candidate
 // meetings. meetable is the caller's meetablePairs(horizon) count (the
 // O(n²) scan is done once per run, whichever path consumes it).
-func (e *Engine) runBlock(res *Result, horizon int, env Environment, meetable int) {
+func (e *Engine) runBlock(res *Result, horizon int, env Environment, meetable int, c *Canceler) {
 	p := e.planFor(horizon)
 	defer e.planPool.Put(p)
 	sc := e.getJointScratch()
 	defer e.jointPool.Put(sc)
 	for base := 0; base < horizon; base += blockLen {
-		if res.metCount == meetable {
-			return // every meetable pair recorded; later slots cannot change the result
+		if res.metCount == meetable || c.poll() {
+			return // every meetable pair recorded (or the run was cancelled)
 		}
 		m := min(blockLen, horizon-base)
 		e.fillBlockWindow(p, sc, base, m)
@@ -887,11 +889,14 @@ func (e *Engine) runBlock(res *Result, horizon int, env Environment, meetable in
 // the point of this path is to be the regression oracle for the block
 // and compile layers, so it must exercise each schedule's own
 // implementation, not the machinery under test.
-func (e *Engine) runSlots(res *Result, horizon int, env Environment, meetable int) {
+func (e *Engine) runSlots(res *Result, horizon int, env Environment, meetable int, c *Canceler) {
 	occ := newOccupancy(e.chIdx.count)
 	for t := 0; t < horizon; t++ {
 		if res.metCount == meetable {
 			return // early exit mirrors runBlock: no later slot can matter
+		}
+		if t%blockLen == 0 && c.poll() {
+			return // cancellation checked at the same block cadence as runBlock
 		}
 		for i := range e.agents {
 			a := &e.agents[i]
@@ -948,10 +953,19 @@ var pairBufPool = sync.Pool{New: func() any { return new([2 * blockLen]int) }}
 // through the time-sharded joint engine, which computes the identical
 // Result.
 func (e *Engine) RunParallelEnv(horizon, workers int, env Environment) *Result {
-	return e.runParallelEnvInto(e.newResult(horizon), horizon, workers, env)
+	return e.runParallelEnvInto(e.newResult(horizon), horizon, workers, env, nil)
 }
 
-func (e *Engine) runParallelEnvInto(res *Result, horizon, workers int, env Environment) *Result {
+// RunParallelEnvCancel is RunParallelEnv with a cooperative
+// cancellation seam: when c fires, every worker stops at its next
+// block-window boundary and the call returns a partial Result (see
+// Canceler for the exact contract). A nil c is identical to
+// RunParallelEnv.
+func (e *Engine) RunParallelEnvCancel(horizon, workers int, env Environment, c *Canceler) *Result {
+	return e.runParallelEnvInto(e.newResult(horizon), horizon, workers, env, c)
+}
+
+func (e *Engine) runParallelEnvInto(res *Result, horizon, workers int, env Environment, c *Canceler) *Result {
 	useBlocks := blockEval.Load()
 	if useBlocks {
 		// Count before materializing the pair list: on the joint path the
@@ -960,26 +974,32 @@ func (e *Engine) runParallelEnvInto(res *Result, horizon, workers int, env Envir
 		meetable := e.meetablePairs(horizon)
 		switch e.jointChoice(meetable) {
 		case chooseJoint:
-			return e.runJointParallelEnvInto(res, horizon, workers, env, meetable)
+			return e.runJointParallelEnvInto(res, horizon, workers, env, meetable, c)
 		case chooseJointProbe:
 			start := time.Now()
-			r := e.runJointParallelEnvInto(res, horizon, workers, env, meetable)
-			e.cal.noteJoint(time.Since(start))
+			r := e.runJointParallelEnvInto(res, horizon, workers, env, meetable, c)
+			if !c.Canceled() {
+				// A truncated probe would settle the ski-rental bet with a
+				// bogus (short) joint time; leave the bet open instead.
+				e.cal.noteJoint(time.Since(start))
+			}
 			return r
 		case choosePairwiseTimed:
 			start := time.Now()
-			r := e.runPairwiseEnvInto(res, horizon, workers, env, useBlocks)
-			e.cal.notePairwise(time.Since(start))
+			r := e.runPairwiseEnvInto(res, horizon, workers, env, useBlocks, c)
+			if !c.Canceled() {
+				e.cal.notePairwise(time.Since(start))
+			}
 			return r
 		}
 	}
-	return e.runPairwiseEnvInto(res, horizon, workers, env, useBlocks)
+	return e.runPairwiseEnvInto(res, horizon, workers, env, useBlocks, c)
 }
 
 // runPairwiseEnvInto is the pairwise decomposition proper: one
 // independent scan per meetable pair, executed by a bounded worker
 // pool, folded into the caller-owned result.
-func (e *Engine) runPairwiseEnvInto(res *Result, horizon, workers int, env Environment, useBlocks bool) *Result {
+func (e *Engine) runPairwiseEnvInto(res *Result, horizon, workers int, env Environment, useBlocks bool, c *Canceler) *Result {
 	e.setRoute(RoutePairwise)
 	sc, _ := e.pairPool.Get().(*pairScratch)
 	if sc == nil {
@@ -1029,7 +1049,9 @@ func (e *Engine) runPairwiseEnvInto(res *Result, horizon, workers int, env Envir
 		found[p] = pairHit{}
 	}
 	// scan locates pair p's first meeting; bufA/bufB are the worker's
-	// reusable block buffers.
+	// reusable block buffers. Cancellation is polled once per block (the
+	// per-slot reference path at the same cadence), so a cancelled pair
+	// simply stays unmet — exactly the partial-Result contract.
 	scan := func(p int, bufA, bufB []int) {
 		a, b := e.agents[pairs[p].i], e.agents[pairs[p].j]
 		start := max(a.Wake, b.Wake)
@@ -1037,6 +1059,9 @@ func (e *Engine) runPairwiseEnvInto(res *Result, horizon, workers int, env Envir
 		if useBlocks {
 			sa, sb := plan.scheds[pairs[p].i], plan.scheds[pairs[p].j]
 			for base := start; base < end; base += blockLen {
+				if c.poll() {
+					return
+				}
 				m := min(blockLen, end-base)
 				schedule.FillBlock(sa, bufA[:m], base-a.Wake)
 				schedule.FillBlock(sb, bufB[:m], base-b.Wake)
@@ -1050,6 +1075,9 @@ func (e *Engine) runPairwiseEnvInto(res *Result, horizon, workers int, env Envir
 			return
 		}
 		for t := start; t < end; t++ {
+			if (t-start)%blockLen == 0 && c.poll() {
+				return
+			}
 			ca := a.Sched.Channel(t - a.Wake)
 			if ca == b.Sched.Channel(t-b.Wake) && (env == nil || env.Available(ca, t)) {
 				found[p] = pairHit{slot: t, ch: ca, ok: true}
@@ -1060,6 +1088,9 @@ func (e *Engine) runPairwiseEnvInto(res *Result, horizon, workers int, env Envir
 	if workers <= 1 {
 		buf := pairBufPool.Get().(*[2 * blockLen]int)
 		for p := range pairs {
+			if c.Canceled() {
+				break
+			}
 			scan(p, buf[:blockLen], buf[blockLen:])
 		}
 		pairBufPool.Put(buf)
@@ -1072,7 +1103,7 @@ func (e *Engine) runPairwiseEnvInto(res *Result, horizon, workers int, env Envir
 				defer wg.Done()
 				buf := pairBufPool.Get().(*[2 * blockLen]int)
 				defer pairBufPool.Put(buf)
-				for {
+				for !c.Canceled() {
 					p := int(next.Add(1)) - 1
 					if p >= len(pairs) {
 						return

@@ -61,8 +61,10 @@ func (e *Engine) getSparseScratch() *sparseScratch {
 // the cell-filtered posting scan over global slots [lo, hi), recording
 // each contact edge's first hit within this worker's windows into
 // st.hits and feeding the shared cancellation state. The hit-array,
-// seen-bitset, and ordering contracts match the other scans.
-func (e *Engine) scanShardSparse(plan *runPlan, sc *jointScratch, ssc *sparseScratch, st *shardState, lo, hi int) {
+// seen-bitset, and ordering contracts match the other scans; the
+// returned bool reports whether [lo, hi) was scanned to completion
+// (false when st.cancel fired mid-window).
+func (e *Engine) scanShardSparse(plan *runPlan, sc *jointScratch, ssc *sparseScratch, st *shardState, lo, hi int) bool {
 	n := len(e.agents)
 	from, to := ssc.from[:n], ssc.to[:n]
 	post := ssc.post
@@ -73,7 +75,12 @@ func (e *Engine) scanShardSparse(plan *runPlan, sc *jointScratch, ssc *sparseScr
 		st: st, meetable: st.meetable, solo: st.solo,
 		cand: ssc.cand,
 	}
+	complete := true
 	for base := lo; base < hi; base += blockLen {
+		if st.cancel.poll() {
+			complete = false
+			break
+		}
 		m := min(blockLen, hi-base)
 		e.fillBlockWindowClamped(plan, sc, from, to, base, m)
 		transposeIDs(ids, sc.bufs, n, m)
@@ -112,6 +119,7 @@ func (e *Engine) scanShardSparse(plan *runPlan, sc *jointScratch, ssc *sparseScr
 		}
 	}
 	ssc.cand = gcx.cand
+	return complete
 }
 
 // sparseGroupCtx carries the scan-invariant state one worker's
